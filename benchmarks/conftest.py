@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one paper artifact via the corresponding
+``repro.experiments`` driver. The drivers share the measurement cache in
+:mod:`repro.experiments.runner`, so the expensive suite simulations run
+once per pytest session regardless of how many benches consume them.
+
+Benches run at :meth:`ExperimentConfig.quick` trace lengths; the numbers
+in EXPERIMENTS.md come from :meth:`ExperimentConfig.full` (run via
+``perspector experiment <name>``). The *shape* checks pass at both.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def config():
+    """Trace-length preset shared by every bench."""
+    return ExperimentConfig.quick()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiment drivers simulate entire suites; timing one round is
+    the meaningful measurement (repeat rounds would hit the cache and
+    time something else).
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,40 @@
+"""Bench: design-choice ablations (see DESIGN.md)."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, config):
+    result = run_once(benchmark, ablations.run, config)
+    print()
+    print(ablations.render(result))
+
+    # PCA variance target: keeping more variance can only add (weakly
+    # informative) components, so the mean-variance score is monotone
+    # non-increasing in the target.
+    targets = sorted(result.pca_variance)
+    values = [result.pca_variance[t] for t in targets]
+    assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    # K-means restarts: more restarts must not increase seed variance
+    # much (stability is the reason the ClusterScore uses them).
+    assert result.kmeans_restarts[16][1] <= result.kmeans_restarts[1][1] + 0.02
+
+    # DTW band: constraining the warp can only raise each pairwise
+    # distance, so the banded trend scores dominate the unconstrained one.
+    assert result.dtw_band["1"] >= result.dtw_band["none"] - 1e-9
+    assert result.dtw_band["3"] >= result.dtw_band["none"] - 1e-9
+
+    # Both Eq. 14 readings produce scores in [0, 1].
+    for value in result.spread_axis.values():
+        assert 0.0 <= value <= 1.0
+
+    # The CDF reading is a consequential knob: the three readings give
+    # materially different trend scores (the pooled reading converts
+    # cross-workload level diversity into trend, so it reads highest on
+    # a diverse suite).
+    values = result.cdf_mode
+    assert all(v > 0 for v in values.values())
+    assert values["pooled"] == max(values.values())
+    assert max(values.values()) > 1.2 * min(values.values())

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 1 (trend-series normalization)."""
+
+from conftest import run_once
+
+from repro.experiments import fig1_normalization as fig1
+
+
+def test_fig1_normalization(benchmark, config):
+    result = run_once(benchmark, fig1.run, config)
+    print()
+    print(fig1.render(result))
+
+    # Shape: raw series span orders of magnitude across workloads ...
+    assert result.raw_range_ratio > 10
+    # ... normalized series share a bounded axis.
+    assert result.normalized_range_ratio < 3
+    for name in result.workloads:
+        s = result.normalized[name]
+        assert s.min() >= 0.0 and s.max() <= 100.0
+        assert s.shape == (100,)

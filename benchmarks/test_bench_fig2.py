@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 2 (coverage vs spread illustration)."""
+
+from conftest import run_once
+
+from repro.experiments import fig2_coverage_vs_spread as fig2
+
+
+def test_fig2_coverage_vs_spread(benchmark):
+    result = run_once(benchmark, fig2.run)
+    print()
+    print(fig2.render(result))
+
+    # The paper's point: WA's outliers keep its coverage at least
+    # comparable to WB's, but WB clearly wins on spread.
+    assert result.wa_coverage > 0.5 * result.wb_coverage
+    assert result.wb_spread < result.wa_spread - 0.1

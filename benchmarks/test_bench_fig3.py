@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 3a/b/c (the headline suite-score tables)."""
+
+from conftest import run_once
+
+from repro.experiments import fig3_suite_scores as fig3
+
+
+def test_fig3_suite_scores(benchmark, config):
+    result = run_once(benchmark, fig3.run, config)
+    print()
+    print(fig3.render(result))
+
+    failures = fig3.check_expected_shape(result)
+    assert not failures, "\n".join(failures)

@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 4 (clustering in Nbench vs SGXGauge)."""
+
+from conftest import run_once
+
+from repro.experiments import fig4_clustering as fig4
+
+
+def test_fig4_clustering(benchmark, config):
+    result = run_once(benchmark, fig4.run, config)
+    print()
+    print(fig4.render(result))
+
+    nbench = result.panel("nbench")
+    sgx = result.panel("sgxgauge")
+    # The paper's Fig. 4 point: both suites show visible grouping in the
+    # PCA plane (unlike a uniform cloud), quantified by a clearly
+    # positive silhouette at the best cluster count.
+    assert nbench.silhouette_at_best_k > 0.15
+    assert sgx.silhouette_at_best_k > 0.15
+    # Both panels are proper 2-D projections with one point per workload.
+    assert nbench.points.shape == (10, 2)
+    assert sgx.points.shape == (8, 2)
+    assert set(nbench.labels) == set(range(nbench.best_k))

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 5 (LLC-miss trends, Nbench vs SPEC'17)."""
+
+from conftest import run_once
+
+from repro.experiments import fig5_trend as fig5
+
+
+def test_fig5_trend(benchmark, config):
+    result = run_once(benchmark, fig5.run, config)
+    print()
+    print(fig5.render(result))
+
+    nbench = result.panel("nbench")
+    spec = result.panel("spec17")
+    # The paper's Fig. 5 point: SPEC'17's real applications show visible
+    # LLC-miss trends; Nbench's kernels run comparatively flat.
+    assert spec.mean_temporal_variation > nbench.mean_temporal_variation
+    for panel in (nbench, spec):
+        for series in panel.normalized:
+            assert series.min() >= 0.0 and series.max() <= 100.0

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 6 (PCA coverage, LMbench vs SPEC'17)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig6_pca_coverage as fig6
+
+
+def test_fig6_pca_coverage(benchmark, config):
+    result = run_once(benchmark, fig6.run, config)
+    print()
+    print(fig6.render(result))
+
+    # The paper's Fig. 6 point: LMbench's microbenchmarks are flung wide
+    # across the (jointly normalized) PCA plane; SPEC'17 is denser.
+    assert result.coverage["lmbench"] > result.coverage["spec17"]
+    lm_extent = np.prod(result.hull_extent["lmbench"])
+    sp_extent = np.prod(result.hull_extent["spec17"])
+    assert lm_extent > sp_extent
+    assert result.points["lmbench"].shape == (10, 2)
+    assert result.points["spec17"].shape == (43, 2)

@@ -1,0 +1,31 @@
+"""Bench: machine-sensitivity ablations (replacement policy, prefetcher,
+branch predictor)."""
+
+from conftest import run_once
+
+from repro.experiments import machine_ablations as mach
+
+
+def test_machine_ablations(benchmark):
+    result = run_once(benchmark, mach.run, "sgxgauge",
+                      n_intervals=10, ops_per_interval=600)
+    print()
+    print(mach.render(result))
+
+    # Every variant produced a complete scorecard.
+    for group in (result.by_policy, result.by_prefetcher,
+                  result.by_predictor):
+        for card in group.values():
+            assert card.coverage > 0
+            assert 0 <= card.spread <= 1
+
+    # The branch predictor cannot change memory-side scores much, but
+    # the replacement policy must move *something*: LRU and random
+    # differ in measured misses, hence in the counter matrix.
+    lru = result.by_policy["lru"]
+    rnd = result.by_policy["random"]
+    moved = any(
+        abs(lru.score(s) - rnd.score(s)) > 1e-6
+        for s in ("cluster", "trend", "coverage", "spread")
+    )
+    assert moved

@@ -1,0 +1,19 @@
+"""Bench: footnote 1 -- PMU multiplexing accuracy loss."""
+
+from conftest import run_once
+
+from repro.experiments import multiplexing as mux
+
+
+def test_multiplexing_error(benchmark):
+    result = run_once(benchmark, mux.run)
+    print()
+    print(mux.render(result))
+
+    # With enough slots for every event there is no estimation error.
+    assert result.mean_error[14] == 0.0
+    # Over-subscribing the counters on a phase-changing workload loses
+    # accuracy (the paper's footnote 1), and more aggressively with
+    # fewer slots.
+    assert result.mean_error[4] > 0.0
+    assert result.max_error[2] >= result.max_error[7]

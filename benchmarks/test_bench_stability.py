@@ -1,0 +1,24 @@
+"""Bench: score stability (bootstrap intervals + ranking agreement)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import stability
+
+
+def test_stability(benchmark, config):
+    result = run_once(benchmark, stability.run, config)
+    print()
+    print(stability.render(result))
+
+    for score, b in result.bootstrap.items():
+        assert b.low <= b.high, score
+        # Subsampling intervals should sit near the point estimate
+        # (distance-based scores have leave-out bias, so containment is
+        # not guaranteed -- closeness is the meaningful check).
+        scale = max(abs(b.estimate), 1e-6)
+        assert abs(b.estimate - np.clip(b.estimate, b.low, b.high)) \
+            <= 1.2 * scale, score
+    # The headline rankings should be reasonably reproducible across
+    # trace seeds; coverage (driven by extremes) is the most stable.
+    assert result.ranking_agreement["coverage"] >= 0.5

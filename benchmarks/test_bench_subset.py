@@ -1,0 +1,29 @@
+"""Bench: regenerate Section IV-C (SPEC'17 43 -> 8 via LHS)."""
+
+from conftest import run_once
+
+from repro.experiments import subset_generation as subset
+
+
+def test_subset_generation(benchmark, config):
+    result = run_once(benchmark, subset.run, config)
+    print()
+    print(subset.render(result))
+
+    # Paper: the LHS subset's scores deviate from the full suite's by a
+    # small single/low-double-digit percentage (6.53% on their testbed).
+    assert len(result.lhs.selected) == 8
+    assert result.lhs.mean_deviation_pct < 35.0
+    # And LHS must beat blind chance on average.
+    assert result.lhs.mean_deviation_pct < result.random_mean_deviation
+
+
+def test_subset_methods_comparison(benchmark, config):
+    result = run_once(benchmark, subset.run, config)
+    # All methods produce valid 8-element subsets of the 43.
+    for report in (result.lhs, result.prior_work, result.greedy):
+        assert len(set(report.selected)) == 8
+    # Structured methods should not be wildly worse than chance.
+    assert result.prior_work.mean_deviation_pct < (
+        2.5 * result.random_mean_deviation + 10
+    )

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Suite audit: pick the right benchmark suite for a study.
+
+The scenario from the paper's introduction: a researcher evaluating a new
+memory-subsystem design has several candidate suites and needs to choose
+one *for the events she cares about*. This example compares three suites
+jointly (the Fig. 3 setting), then re-focuses the comparison on
+LLC-related and TLB-related events (Section IV-B) and prints a
+recommendation per focus.
+
+Usage::
+
+    python examples/suite_audit.py [suite ...]
+"""
+
+import sys
+
+from repro import Perspector, available_suites, load_suite
+from repro.perf.session import PerfSession
+
+DEFAULT_SUITES = ("nbench", "lmbench", "sgxgauge")
+
+
+def recommend(comparison):
+    """Naive recommendation: rank suites on each score and take the best
+    mean rank (this is the kind of judgement Perspector makes
+    quantitative)."""
+    names = comparison.suite_names
+    mean_rank = {n: 0.0 for n in names}
+    for score in ("cluster", "trend", "coverage", "spread"):
+        for rank, name in enumerate(comparison.ranking(score)):
+            mean_rank[name] += rank / 4.0
+    return min(mean_rank, key=mean_rank.get)
+
+
+def main():
+    chosen = sys.argv[1:] or list(DEFAULT_SUITES)
+    unknown = [s for s in chosen if s not in available_suites()]
+    if unknown:
+        raise SystemExit(
+            f"unknown suites {unknown}; pick from {available_suites()}"
+        )
+    if len(chosen) < 2:
+        raise SystemExit("need at least two suites to compare")
+
+    session = PerfSession(n_intervals=12, ops_per_interval=800,
+                          warmup_intervals=4, seed=7)
+    perspector = Perspector(session=session, seed=3)
+
+    print(f"measuring {len(chosen)} suites ...")
+    matrices = [perspector.measure(load_suite(s)) for s in chosen]
+
+    for focus in ("all", "llc", "tlb"):
+        comparison = perspector.compare(*matrices, focus=focus)
+        print()
+        print(comparison.table())
+        print(f"==> recommended for focus={focus}: {recommend(comparison)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro -- a full reproduction of *Perspector: Benchmarking Benchmark
+Suites* (Kumar, Panda, Sarangi; DATE 2023).
+
+Perspector assigns four quantitative quality scores to a benchmark suite
+from the hardware-performance-counter data its workloads produce:
+
+* **ClusterScore** (diversity, lower is better),
+* **TrendScore** (phase behaviour, higher is better),
+* **CoverageScore** (parameter-space coverage, higher is better),
+* **SpreadScore** (uniformity of coverage, lower is better).
+
+Because this reproduction has no hardware PMU access, the measurement stack
+is simulated end-to-end: synthetic phase-structured workload models
+(:mod:`repro.workloads`) drive a trace-based microarchitecture simulator
+(:mod:`repro.uarch`) observed through a PMU model (:mod:`repro.perf`); the
+Perspector metrics proper live in :mod:`repro.core` on top of from-scratch
+statistical kernels (:mod:`repro.stats`).
+
+Quickstart::
+
+    from repro import Perspector, load_suite
+
+    suite = load_suite("nbench")
+    scores = Perspector(seed=7).score(suite)
+    print(scores)
+
+The public API below is re-exported lazily (PEP 562) so that importing a
+single substrate (e.g. ``repro.stats``) does not pull in the whole stack.
+"""
+
+__version__ = "1.0.0"
+
+_CORE_EXPORTS = {
+    "Perspector": "repro.core",
+    "PerspectorConfig": "repro.core",
+    "SuiteScorecard": "repro.core",
+    "CounterMatrix": "repro.core",
+    "cluster_score": "repro.core",
+    "trend_score": "repro.core",
+    "coverage_score": "repro.core",
+    "spread_score": "repro.core",
+    "EventFocus": "repro.core.focus",
+    "LHSSubsetGenerator": "repro.core.subset",
+    "SubsetReport": "repro.core.subset",
+    "load_suite": "repro.workloads",
+    "load_all_suites": "repro.workloads",
+    "available_suites": "repro.workloads",
+}
+
+__all__ = sorted(_CORE_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name):
+    """Lazily resolve the public API (PEP 562)."""
+    if name in _CORE_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_CORE_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value  # cache for subsequent lookups
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return __all__

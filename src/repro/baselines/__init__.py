@@ -1,0 +1,22 @@
+"""Prior-work baselines (Table I of the paper).
+
+The suite-characterization literature the paper positions itself against
+([15]-[19]) shares one methodology: normalize the counter matrix, reduce
+with PCA, cluster the principal components *hierarchically*, and pick one
+representative workload per cluster. This package implements that
+pipeline (:mod:`repro.baselines.pca_hierarchical`) plus simple subsetting
+baselines (random, greedy max-min) so the LHS generator of Section IV-C
+has something to beat in the ablation benches.
+"""
+
+from repro.baselines.pca_hierarchical import (
+    PCAHierarchicalSubsetter,
+    prior_work_clusters,
+)
+from repro.baselines.greedy_subset import GreedyMaxMinSubsetter
+
+__all__ = [
+    "PCAHierarchicalSubsetter",
+    "prior_work_clusters",
+    "GreedyMaxMinSubsetter",
+]

@@ -1,0 +1,46 @@
+"""Greedy max-min (farthest-point) subset selection.
+
+A strong classical space-filling baseline: start from the workload
+closest to the suite centroid, then repeatedly add the workload whose
+minimum distance to the already-chosen set is largest. Deterministic,
+no randomness -- the natural foil for the LHS generator in the
+subsetting ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.matrix import CounterMatrix
+from repro.stats.distance import pairwise_distances
+from repro.stats.preprocessing import minmax_normalize
+
+
+class GreedyMaxMinSubsetter:
+    """Farthest-point-first subset selection on the normalized matrix."""
+
+    def __init__(self, subset_size):
+        if subset_size < 1:
+            raise ValueError("subset_size must be >= 1")
+        self.subset_size = subset_size
+
+    def select(self, matrix):
+        """Return the chosen workload names, in selection order."""
+        if not isinstance(matrix, CounterMatrix):
+            raise TypeError("select needs a CounterMatrix")
+        n = matrix.n_workloads
+        if self.subset_size > n:
+            raise ValueError(
+                f"subset_size {self.subset_size} exceeds suite size {n}"
+            )
+        x = minmax_normalize(matrix.values)
+        d = pairwise_distances(x)
+
+        centroid = x.mean(axis=0)
+        first = int(np.argmin(np.linalg.norm(x - centroid, axis=1)))
+        chosen = [first]
+        while len(chosen) < self.subset_size:
+            min_dist = d[:, chosen].min(axis=1)
+            min_dist[chosen] = -np.inf
+            chosen.append(int(np.argmax(min_dist)))
+        return tuple(matrix.workloads[i] for i in chosen)

@@ -1,0 +1,119 @@
+"""The prior-work pipeline: normalize -> PCA -> hierarchical clustering.
+
+This is the methodology of Phansalkar et al. [17, 19] and the SPEC'17
+characterizations [15, 16] as summarized in Section II: reduce the
+normalized counter matrix with PCA, build a dendrogram over the principal
+components with hierarchical clustering, cut it into k clusters, and run
+one representative per cluster. Section II's critique -- no cluster-
+quality metric, no phase awareness, no cross-suite comparability -- is
+exactly what the Perspector scores add; this implementation exists so the
+benches can compare the two approaches on equal footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.matrix import CounterMatrix
+from repro.stats.hierarchical import fcluster_by_count, linkage_matrix
+from repro.stats.pca import PCA
+from repro.stats.preprocessing import minmax_normalize, zscore_normalize
+
+
+@dataclass(frozen=True)
+class PriorWorkClusters:
+    """Outcome of the prior-work clustering pipeline.
+
+    Attributes
+    ----------
+    labels:
+        Cluster index per workload.
+    transformed:
+        Workloads in PCA space.
+    representatives:
+        One workload name per cluster: the member closest to its
+        cluster's centroid (the workload prior work would actually run).
+    """
+
+    labels: np.ndarray
+    transformed: np.ndarray
+    representatives: tuple
+
+
+def prior_work_clusters(matrix, n_clusters, variance=0.98,
+                        linkage="average", scaling="zscore"):
+    """Run the normalize -> PCA -> hierarchical-clustering pipeline.
+
+    Parameters
+    ----------
+    matrix:
+        :class:`CounterMatrix` of suite measurements.
+    n_clusters:
+        Dendrogram cut (== subset size in the subsetting use).
+    variance:
+        PCA retained-variance target.
+    linkage:
+        Hierarchical linkage criterion (prior work uses average/Ward).
+    scaling:
+        ``zscore`` (the literature's choice) or ``minmax``.
+
+    Returns
+    -------
+    PriorWorkClusters
+    """
+    if not isinstance(matrix, CounterMatrix):
+        raise TypeError("prior_work_clusters needs a CounterMatrix")
+    if not (1 <= n_clusters <= matrix.n_workloads):
+        raise ValueError(
+            f"n_clusters must be in [1, {matrix.n_workloads}], "
+            f"got {n_clusters}"
+        )
+    if scaling == "zscore":
+        x = zscore_normalize(matrix.values)
+    elif scaling == "minmax":
+        x = minmax_normalize(matrix.values)
+    else:
+        raise ValueError(f"unknown scaling {scaling!r}")
+    pca = PCA(variance=variance).fit_transform(x)
+    z = pca.transformed
+    if n_clusters == matrix.n_workloads:
+        labels = np.arange(matrix.n_workloads)
+    else:
+        merges = linkage_matrix(z, linkage=linkage)
+        labels = fcluster_by_count(merges, n_clusters)
+
+    representatives = []
+    for c in range(n_clusters):
+        members = np.where(labels == c)[0]
+        centroid = z[members].mean(axis=0)
+        dists = np.linalg.norm(z[members] - centroid, axis=1)
+        representatives.append(matrix.workloads[members[int(np.argmin(dists))]])
+    return PriorWorkClusters(
+        labels=labels,
+        transformed=z,
+        representatives=tuple(representatives),
+    )
+
+
+class PCAHierarchicalSubsetter:
+    """Subset selection the prior-work way: one representative per
+    hierarchical cluster in PCA space."""
+
+    def __init__(self, subset_size, variance=0.98, linkage="average",
+                 scaling="zscore"):
+        if subset_size < 1:
+            raise ValueError("subset_size must be >= 1")
+        self.subset_size = subset_size
+        self.variance = variance
+        self.linkage = linkage
+        self.scaling = scaling
+
+    def select(self, matrix):
+        """Return the chosen workload names."""
+        result = prior_work_clusters(
+            matrix, self.subset_size, variance=self.variance,
+            linkage=self.linkage, scaling=self.scaling,
+        )
+        return result.representatives

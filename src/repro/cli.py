@@ -1,0 +1,172 @@
+"""Command-line interface.
+
+::
+
+    perspector score <suite> [--focus all|llc|tlb] ...
+    perspector compare <suite> <suite> ... [--focus ...]
+    perspector subset <suite> --size 8
+    perspector suites
+    perspector experiment fig1|fig2|fig3|fig4|fig5|fig6|subset|mux|ablations
+
+All commands run the simulation stack end-to-end; ``--quick`` switches
+to the short-trace preset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.perspector import Perspector
+from repro.core.subset import LHSSubsetGenerator
+from repro.experiments.runner import ExperimentConfig, measure_suites
+from repro.workloads import available_suites
+
+_EXPERIMENTS = {
+    "fig1": "repro.experiments.fig1_normalization",
+    "fig2": "repro.experiments.fig2_coverage_vs_spread",
+    "fig3": "repro.experiments.fig3_suite_scores",
+    "fig4": "repro.experiments.fig4_clustering",
+    "fig5": "repro.experiments.fig5_trend",
+    "fig6": "repro.experiments.fig6_pca_coverage",
+    "subset": "repro.experiments.subset_generation",
+    "mux": "repro.experiments.multiplexing",
+    "ablations": "repro.experiments.ablations",
+    "machine": "repro.experiments.machine_ablations",
+    "stability": "repro.experiments.stability",
+}
+
+
+def _config(args):
+    return (ExperimentConfig.quick() if args.quick
+            else ExperimentConfig.full())
+
+
+def _cmd_suites(args):
+    for name in available_suites():
+        print(name)
+    return 0
+
+
+def _cmd_score(args):
+    config = _config(args)
+    matrix = measure_suites([args.suite], config)[args.suite]
+    card = Perspector(seed=config.metric_seed).score(matrix,
+                                                     focus=args.focus)
+    print(card)
+    return 0
+
+
+def _cmd_compare(args):
+    config = _config(args)
+    matrices = measure_suites(args.suites, config)
+    perspector = Perspector(seed=config.metric_seed)
+    comparison = perspector.compare(
+        *[matrices[s] for s in args.suites], focus=args.focus
+    )
+    print(comparison.table())
+    if args.bars:
+        for score in ("cluster", "trend", "coverage", "spread"):
+            print()
+            print(comparison.bars(score))
+    if args.csv:
+        with open(args.csv, "w") as f:
+            f.write(comparison.to_csv())
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_subset(args):
+    config = _config(args)
+    matrix = measure_suites([args.suite], config)[args.suite]
+    report = LHSSubsetGenerator(
+        subset_size=args.size, seed=config.metric_seed
+    ).report(matrix, seed=config.metric_seed)
+    print(report)
+    return 0
+
+
+def _cmd_experiment(args):
+    import importlib
+
+    module = importlib.import_module(_EXPERIMENTS[args.name])
+    kwargs = {}
+    if args.quick:
+        kwargs["config"] = ExperimentConfig.quick()
+    if args.name in ("fig2", "mux", "machine"):
+        kwargs = {}  # these drivers take no config
+    print(module.render(module.run(**kwargs)))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="perspector",
+        description="Benchmark benchmark suites (DATE 2023 reproduction).",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="short-trace preset (fast, noisier)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("suites", help="list modelled suites")
+
+    p_score = sub.add_parser("score", help="score one suite")
+    p_score.add_argument("suite", choices=available_suites())
+    p_score.add_argument("--focus", default="all",
+                         choices=["all", "llc", "tlb", "branch", "core"])
+
+    p_cmp = sub.add_parser("compare", help="compare suites jointly")
+    p_cmp.add_argument("suites", nargs="+", choices=available_suites())
+    p_cmp.add_argument("--focus", default="all",
+                       choices=["all", "llc", "tlb", "branch", "core"])
+    p_cmp.add_argument("--csv", metavar="PATH",
+                       help="also write the comparison as CSV")
+    p_cmp.add_argument("--bars", action="store_true",
+                       help="print bar panels per score")
+
+    p_sub = sub.add_parser("subset", help="LHS subset generation")
+    p_sub.add_argument("suite", choices=available_suites())
+    p_sub.add_argument("--size", type=int, default=8)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+
+    p_rep = sub.add_parser(
+        "report", help="full suite report (scores + characterization)"
+    )
+    p_rep.add_argument("suite", help="suite name or path to a JSON spec")
+    return parser
+
+
+def _cmd_report(args):
+    from repro.perf.report import build_report, render_report
+    from repro.workloads import load_suite as load_builtin
+
+    config = _config(args)
+    if args.suite in available_suites():
+        suite = load_builtin(args.suite)
+    else:
+        from repro.workloads.custom import suite_from_json
+
+        suite = suite_from_json(args.suite)
+    report = build_report(suite, config.session(),
+                          metric_seed=config.metric_seed)
+    print(render_report(report))
+    return 0
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "suites": _cmd_suites,
+        "score": _cmd_score,
+        "compare": _cmd_compare,
+        "subset": _cmd_subset,
+        "experiment": _cmd_experiment,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Perspector core: the paper's contribution.
+
+The four Section III metrics over a named counter matrix:
+
+* :func:`cluster_score` -- diversity (Eq. 1-6; lower is better);
+* :func:`trend_score` -- phase behaviour (Eq. 7-8; higher is better);
+* :func:`coverage_score` -- parameter-space coverage (Eq. 9-13; higher
+  is better);
+* :func:`spread_score` -- uniformity (Eq. 14; lower is better);
+
+plus the :class:`Perspector` facade (score/compare suites), focused
+scoring (:mod:`repro.core.focus`, Section IV-B), LHS subset generation
+(:mod:`repro.core.subset`, Section IV-C), and counter-based phase
+detection (:mod:`repro.core.phases`).
+"""
+
+from repro.core.matrix import CounterMatrix
+from repro.core.normalization import (
+    normalize_matrix,
+    normalize_matrices_jointly,
+    normalize_series,
+    normalize_series_set,
+)
+from repro.core.cluster_score import ClusterScoreResult, cluster_score
+from repro.core.trend_score import (
+    TrendScoreResult,
+    event_trend_score,
+    trend_score,
+)
+from repro.core.coverage_score import (
+    CoverageScoreResult,
+    coverage_score,
+    coverage_scores_jointly,
+)
+from repro.core.spread_score import SpreadScoreResult, spread_score
+from repro.core.focus import EventFocus, apply_focus
+from repro.core.report import SuiteComparison, SuiteScorecard
+from repro.core.perspector import Perspector, PerspectorConfig
+from repro.core.subset import (
+    LHSSubsetGenerator,
+    SubsetReport,
+    random_subset_report,
+)
+from repro.core.phases import (
+    PhaseDetectionResult,
+    PhaseSegment,
+    boundary_recall,
+    detect_phases,
+    true_boundaries_from_intervals,
+)
+from repro.core.calibrate import CalibrationResult, SuiteCalibrator
+from repro.core.io import from_csv, from_json, to_csv, to_json
+
+__all__ = [
+    "CounterMatrix",
+    "normalize_matrix",
+    "normalize_matrices_jointly",
+    "normalize_series",
+    "normalize_series_set",
+    "ClusterScoreResult",
+    "cluster_score",
+    "TrendScoreResult",
+    "event_trend_score",
+    "trend_score",
+    "CoverageScoreResult",
+    "coverage_score",
+    "coverage_scores_jointly",
+    "SpreadScoreResult",
+    "spread_score",
+    "EventFocus",
+    "apply_focus",
+    "SuiteComparison",
+    "SuiteScorecard",
+    "Perspector",
+    "PerspectorConfig",
+    "LHSSubsetGenerator",
+    "SubsetReport",
+    "random_subset_report",
+    "PhaseDetectionResult",
+    "PhaseSegment",
+    "boundary_recall",
+    "detect_phases",
+    "true_boundaries_from_intervals",
+    "CalibrationResult",
+    "SuiteCalibrator",
+    "from_csv",
+    "from_json",
+    "to_csv",
+    "to_json",
+]

@@ -1,0 +1,153 @@
+"""Suite calibration: equalize workload execution times.
+
+Section IV's setup note: *"we ensure that the execution times of all the
+workloads are roughly the same by tweaking the input values"*. The
+abstract likewise promises Perspector can help "appropriately tune
+[workloads] for a target system". This module automates the tweak: it
+measures each workload's cycles-per-interval on the target machine and
+solves for a per-workload intensity multiplier that equalizes simulated
+execution time across the suite, iterating because intensity changes
+feed back into cache behaviour (non-linearly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+import numpy as np
+
+from repro.workloads.base import Phase, Suite, Workload
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a calibration run.
+
+    Attributes
+    ----------
+    suite:
+        The calibrated suite (new Workload objects with scaled phase
+        intensities).
+    multipliers:
+        Workload name -> final intensity multiplier.
+    cycles_before / cycles_after:
+        Workload name -> measured cycles per retained run.
+    imbalance_before / imbalance_after:
+        max/min cycle ratio across the suite (1.0 = perfectly equal).
+    iterations:
+        Calibration iterations executed.
+    """
+
+    suite: Suite
+    multipliers: dict
+    cycles_before: dict
+    cycles_after: dict
+    imbalance_before: float
+    imbalance_after: float
+    iterations: int
+
+
+def _scaled_workload(workload, multiplier):
+    phases = tuple(
+        dc_replace(phase, intensity=phase.intensity * multiplier)
+        for phase in workload.phases
+    )
+    return Workload(workload.name, phases,
+                    region_seed=workload._region_seed)
+
+
+def _measure_cycles(session, suite):
+    measurement = session.run_suite(suite)
+    cycles_col = measurement.matrix[
+        :, measurement.events.index("cpu-cycles")
+    ]
+    return dict(zip(measurement.workload_names, cycles_col.tolist()))
+
+
+def _imbalance(cycles):
+    values = np.array(list(cycles.values()))
+    lo = values.min()
+    if lo <= 0:
+        return float("inf")
+    return float(values.max() / lo)
+
+
+class SuiteCalibrator:
+    """Iteratively equalize a suite's per-workload execution time.
+
+    Parameters
+    ----------
+    session:
+        The :class:`repro.perf.session.PerfSession` describing the
+        target machine and sampling setup.
+    max_iterations:
+        Fixed-point iterations (cycles respond sublinearly to intensity,
+        so a few damped steps converge).
+    damping:
+        Update damping in (0, 1]; 1.0 is the raw fixed-point step.
+    tolerance:
+        Stop when the max/min cycle ratio falls below this.
+    min_multiplier / max_multiplier:
+        Clamp for the intensity multipliers (inputs can only be tweaked
+        so far in practice).
+    """
+
+    def __init__(self, session, max_iterations=4, damping=0.8,
+                 tolerance=1.15, min_multiplier=0.1, max_multiplier=10.0):
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if not (0.0 < damping <= 1.0):
+            raise ValueError("damping must be in (0, 1]")
+        if tolerance < 1.0:
+            raise ValueError("tolerance must be >= 1.0")
+        self.session = session
+        self.max_iterations = max_iterations
+        self.damping = damping
+        self.tolerance = tolerance
+        self.min_multiplier = min_multiplier
+        self.max_multiplier = max_multiplier
+
+    def calibrate(self, suite):
+        """Calibrate a suite for the session's machine.
+
+        Returns
+        -------
+        CalibrationResult
+        """
+        cycles_before = _measure_cycles(self.session, suite)
+        target = float(np.exp(np.mean(np.log(
+            np.maximum(list(cycles_before.values()), 1.0)
+        ))))  # geometric mean: symmetric in ratio space
+
+        multipliers = {w.name: 1.0 for w in suite}
+        current = suite
+        cycles = cycles_before
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            if _imbalance(cycles) <= self.tolerance:
+                break
+            for name in multipliers:
+                measured = max(cycles[name], 1.0)
+                step = (target / measured) ** self.damping
+                multipliers[name] = float(np.clip(
+                    multipliers[name] * step,
+                    self.min_multiplier, self.max_multiplier,
+                ))
+            current = Suite(
+                name=f"{suite.name}-calibrated",
+                workloads=tuple(
+                    _scaled_workload(w, multipliers[w.name]) for w in suite
+                ),
+                description=suite.description,
+            )
+            cycles = _measure_cycles(self.session, current)
+
+        return CalibrationResult(
+            suite=current,
+            multipliers=multipliers,
+            cycles_before=cycles_before,
+            cycles_after=cycles,
+            imbalance_before=_imbalance(cycles_before),
+            imbalance_after=_imbalance(cycles),
+            iterations=iterations,
+        )

@@ -1,0 +1,181 @@
+"""Suite composition: build a new suite from a pool of workloads.
+
+The abstract promises Perspector can be used to "systematically and
+rigorously create a suite of workloads". This module delivers that: a
+greedy forward-selection composer that assembles a suite of size ``k``
+from a candidate pool (typically the union of several measured suites),
+maximizing a Perspector-score objective.
+
+The default objective rewards coverage and spread and penalizes
+clustering -- i.e. it builds exactly the kind of suite Section III says
+a good suite should be. The TrendScore is left out of the default
+objective because it needs the candidates' time series; pass a custom
+objective to include it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cluster_score import cluster_score
+from repro.core.coverage_score import coverage_score
+from repro.core.matrix import CounterMatrix
+from repro.core.spread_score import spread_score
+from repro.stats.preprocessing import minmax_normalize
+
+
+def merge_pools(*matrices, suite_name="pool"):
+    """Union several suites' CounterMatrices into one candidate pool.
+
+    Workload names are prefixed with their origin suite so the pool has
+    no collisions and a composed suite's provenance stays readable.
+    """
+    if not matrices:
+        raise ValueError("need at least one matrix")
+    events = matrices[0].events
+    names = []
+    rows = []
+    series = {e: [] for e in events}
+    carry_series = all(
+        set(m.series) == set(events) for m in matrices
+    )
+    for m in matrices:
+        if m.events != events:
+            raise ValueError(
+                "pool members must share an event set: "
+                f"{events} vs {m.events}"
+            )
+        prefix = m.suite_name or "suite"
+        for i, w in enumerate(m.workloads):
+            names.append(f"{prefix}/{w}")
+            rows.append(m.values[i])
+            if carry_series:
+                for e in events:
+                    series[e].append(m.series[e][i])
+    return CounterMatrix(
+        workloads=tuple(names),
+        events=events,
+        values=np.vstack(rows),
+        series=series if carry_series else {},
+        suite_name=suite_name,
+    )
+
+
+def default_objective(matrix, seed=0):
+    """Coverage + spread-uniformity - clustering, all on [0, 1]-ish
+    scales. Higher is better."""
+    coverage = coverage_score(matrix, normalize=False).value
+    spread = spread_score(matrix, normalize=False).value
+    if matrix.n_workloads >= 4:
+        cluster = cluster_score(matrix, seed=seed, normalize=False,
+                                n_restarts=4).value
+    else:
+        cluster = 0.0
+    return coverage - 0.5 * spread - 0.5 * cluster
+
+
+@dataclass(frozen=True)
+class CompositionResult:
+    """Outcome of a composition run.
+
+    Attributes
+    ----------
+    selected:
+        Chosen pool workload names, in selection order.
+    matrix:
+        The composed suite's CounterMatrix.
+    objective_trace:
+        Objective value after each greedy addition.
+    final_objective:
+        Objective of the finished suite.
+    """
+
+    selected: tuple
+    matrix: CounterMatrix
+    objective_trace: tuple
+    final_objective: float
+
+
+class SuiteComposer:
+    """Greedy forward selection of a suite from a candidate pool.
+
+    Parameters
+    ----------
+    suite_size:
+        Number of workloads in the composed suite.
+    objective:
+        Callable ``(CounterMatrix, seed) -> float`` evaluated on
+        *normalized* candidate matrices; higher is better. Defaults to
+        :func:`default_objective`.
+    seed:
+        Seed forwarded to the objective (for its clustering step).
+    """
+
+    def __init__(self, suite_size, objective=None, seed=0):
+        if suite_size < 2:
+            raise ValueError("suite_size must be >= 2")
+        self.suite_size = suite_size
+        self.objective = objective if objective is not None else \
+            default_objective
+        self.seed = seed
+
+    def compose(self, pool):
+        """Compose a suite from a candidate-pool CounterMatrix.
+
+        Returns
+        -------
+        CompositionResult
+        """
+        if not isinstance(pool, CounterMatrix):
+            raise TypeError("compose needs a CounterMatrix pool")
+        n = pool.n_workloads
+        if self.suite_size > n:
+            raise ValueError(
+                f"suite_size {self.suite_size} exceeds pool size {n}"
+            )
+        normalized = minmax_normalize(pool.values)
+
+        # Seed pair: the two most distant candidates (coverage anchor).
+        from repro.stats.distance import pairwise_distances
+
+        d = pairwise_distances(normalized)
+        start = np.unravel_index(int(np.argmax(d)), d.shape)
+        chosen = [int(start[0]), int(start[1])]
+
+        trace = []
+        while len(chosen) < self.suite_size:
+            best_idx = None
+            best_value = -np.inf
+            for candidate in range(n):
+                if candidate in chosen:
+                    continue
+                trial = chosen + [candidate]
+                trial_matrix = CounterMatrix(
+                    workloads=tuple(pool.workloads[i] for i in trial),
+                    events=pool.events,
+                    values=normalized[trial],
+                    suite_name="trial",
+                )
+                value = self.objective(trial_matrix, self.seed)
+                if value > best_value:
+                    best_value = value
+                    best_idx = candidate
+            chosen.append(best_idx)
+            trace.append(float(best_value))
+
+        selected = tuple(pool.workloads[i] for i in chosen)
+        matrix = pool.select_workloads(selected)
+        final_matrix = CounterMatrix(
+            workloads=selected,
+            events=pool.events,
+            values=normalized[chosen],
+            suite_name="composed",
+        )
+        return CompositionResult(
+            selected=selected,
+            matrix=matrix,
+            objective_trace=tuple(trace),
+            final_objective=self.objective(final_matrix, self.seed),
+        )

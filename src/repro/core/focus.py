@@ -1,0 +1,63 @@
+"""Focused scoring (Section IV-B): restrict the metrics to event subsets.
+
+Researchers stress-testing one subsystem (cache, TLB, ...) care about the
+suite's quality *with respect to those events only*. Fig. 3b and Fig. 3c
+re-score every suite with only LLC-related and only TLB-related events;
+:class:`EventFocus` names those groups.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.core.matrix import CounterMatrix
+from repro.perf.events import EVENT_GROUPS
+
+
+class EventFocus(Enum):
+    """Named event groups for focused scoring."""
+
+    ALL = "all"
+    LLC = "llc"
+    TLB = "tlb"
+    BRANCH = "branch"
+    CORE = "core"
+
+    @property
+    def events(self):
+        """The PMU events this focus keeps."""
+        return EVENT_GROUPS[self.value]
+
+    @classmethod
+    def parse(cls, value):
+        """Accept an EventFocus, its name, or its value string."""
+        if isinstance(value, cls):
+            return value
+        key = str(value).lower()
+        for member in cls:
+            if member.value == key or member.name.lower() == key:
+                return member
+        raise ValueError(
+            f"unknown focus {value!r}; expected one of "
+            f"{[m.value for m in cls]}"
+        )
+
+
+def apply_focus(matrix, focus):
+    """Restrict a :class:`CounterMatrix` to a focus group's events."""
+    focus = EventFocus.parse(focus)
+    if not isinstance(matrix, CounterMatrix):
+        raise TypeError(
+            "apply_focus needs a CounterMatrix (event names are required "
+            "to select a group)"
+        )
+    if focus is EventFocus.ALL:
+        wanted = [e for e in matrix.events]
+    else:
+        wanted = [e for e in focus.events if e in matrix.events]
+    if not wanted:
+        raise ValueError(
+            f"matrix has none of the {focus.value!r} events; "
+            f"matrix events: {list(matrix.events)}"
+        )
+    return matrix.select_events(wanted)

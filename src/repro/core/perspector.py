@@ -1,0 +1,180 @@
+"""The Perspector facade: score suites, compare suites.
+
+This is the tool's front door. Feed it either
+
+* a :class:`repro.workloads.base.Suite` (it will simulate the suite
+  through a :class:`repro.perf.session.PerfSession` and score the
+  measured counters), or
+* a pre-built :class:`repro.core.matrix.CounterMatrix` (e.g. loaded from
+  real ``perf`` data),
+
+and it returns :class:`repro.core.report.SuiteScorecard` objects with all
+four Section III scores. ``compare`` scores several suites under the
+joint Eq. 9-10 normalization, which is the paper's Fig. 3 setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cluster_score import cluster_score
+from repro.core.coverage_score import DEFAULT_VARIANCE, coverage_score
+from repro.core.focus import EventFocus, apply_focus
+from repro.core.matrix import CounterMatrix
+from repro.core.normalization import normalize_matrices_jointly
+from repro.core.report import SuiteComparison, SuiteScorecard
+from repro.core.spread_score import spread_score
+from repro.core.trend_score import trend_score
+
+
+@dataclass
+class PerspectorConfig:
+    """Knobs shared by every scoring run.
+
+    Attributes
+    ----------
+    pca_variance:
+        CoverageScore retained-variance target (paper: 0.98).
+    trend_points:
+        Common grid length for the Fig. 1 series normalization.
+    dtw_band:
+        Optional Sakoe-Chiba band (None = unconstrained, the paper's
+        setting).
+    kmeans_restarts:
+        K-means++ restarts per k in the ClusterScore sweep.
+    spread_axis:
+        Eq. 14 reading: ``workloads`` (paper-literal) or ``events``.
+    seed:
+        Seed for K-means and any sampled variants.
+    """
+
+    pca_variance: float = DEFAULT_VARIANCE
+    trend_points: int = 100
+    dtw_band: int | None = None
+    kmeans_restarts: int = 8
+    spread_axis: str = "workloads"
+    seed: int = 0
+
+
+class Perspector:
+    """Score and compare benchmark suites.
+
+    Parameters
+    ----------
+    session:
+        Optional :class:`repro.perf.session.PerfSession` used to measure
+        :class:`Suite` inputs. Defaults to a session on the Table II
+        machine with moderate trace lengths.
+    config:
+        Metric configuration.
+    seed:
+        Shorthand that overrides ``config.seed``.
+    """
+
+    def __init__(self, session=None, config=None, seed=None):
+        self.config = config if config is not None else PerspectorConfig()
+        if seed is not None:
+            self.config.seed = seed
+        self._session = session
+
+    @property
+    def session(self):
+        if self._session is None:
+            from repro.perf.session import PerfSession
+
+            self._session = PerfSession(seed=self.config.seed)
+        return self._session
+
+    # -- measurement ---------------------------------------------------------
+
+    def measure(self, suite_or_matrix):
+        """Resolve the input to a CounterMatrix (simulating if needed)."""
+        if isinstance(suite_or_matrix, CounterMatrix):
+            return suite_or_matrix
+        measurement = self.session.run_suite(suite_or_matrix)
+        return CounterMatrix.from_measurement(measurement)
+
+    # -- scoring --------------------------------------------------------------
+
+    def score(self, suite_or_matrix, focus=EventFocus.ALL):
+        """Score one suite in isolation.
+
+        Returns
+        -------
+        SuiteScorecard
+        """
+        matrix = apply_focus(self.measure(suite_or_matrix), focus)
+        return self._score_matrix(matrix, EventFocus.parse(focus),
+                                  normalize=True)
+
+    def compare(self, *suites_or_matrices, focus=EventFocus.ALL):
+        """Score several suites under joint normalization (Fig. 3).
+
+        Returns
+        -------
+        SuiteComparison
+        """
+        if len(suites_or_matrices) < 2:
+            raise ValueError("compare needs at least two suites")
+        focus = EventFocus.parse(focus)
+        matrices = [
+            apply_focus(self.measure(s), focus) for s in suites_or_matrices
+        ]
+        events = matrices[0].events
+        for m in matrices[1:]:
+            if m.events != events:
+                raise ValueError(
+                    "compared suites must share the same event set: "
+                    f"{events} vs {m.events}"
+                )
+        normalized = normalize_matrices_jointly(*matrices)
+        scorecards = tuple(
+            self._score_matrix(m, focus, normalize=False)
+            for m in normalized
+        )
+        return SuiteComparison(scorecards=scorecards, focus=focus.value)
+
+    def _score_matrix(self, matrix, focus, normalize):
+        cfg = self.config
+        if matrix.n_workloads >= 4:
+            cluster = cluster_score(
+                matrix, seed=cfg.seed, n_restarts=cfg.kmeans_restarts,
+                normalize=normalize,
+            )
+            cluster_value = cluster.value
+        else:
+            # The Eq. 6 sweep needs k in [2, n-1]: undefined below 4
+            # workloads.
+            cluster = None
+            cluster_value = float("nan")
+        coverage = coverage_score(
+            matrix, variance=cfg.pca_variance, normalize=normalize
+        )
+        spread = spread_score(
+            matrix, normalize=normalize, axis=cfg.spread_axis
+        )
+        if matrix.has_series:
+            trend = trend_score(
+                matrix, n_points=cfg.trend_points, band=cfg.dtw_band
+            )
+            trend_value = trend.value
+        else:
+            trend = None
+            trend_value = float("nan")
+        details = {
+            "coverage": coverage,
+            "spread": spread,
+        }
+        if cluster is not None:
+            details["cluster"] = cluster
+        if trend is not None:
+            details["trend"] = trend
+        return SuiteScorecard(
+            suite_name=matrix.suite_name or "<unnamed>",
+            focus=focus.value,
+            cluster=cluster_value,
+            trend=trend_value,
+            coverage=coverage.value,
+            spread=spread.value,
+            details=details,
+        )

@@ -1,0 +1,26 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every module exposes ``run(...)`` returning structured data and a
+``render(...)``/``main()`` that prints the paper artifact as text. The
+benchmark harness under ``benchmarks/`` calls the same ``run`` functions,
+so the regenerated numbers in EXPERIMENTS.md and the bench output are
+identical by construction.
+
+| module                     | paper artifact                         |
+|----------------------------|----------------------------------------|
+| fig1_normalization         | Fig. 1 (trend normalization)           |
+| fig2_coverage_vs_spread    | Fig. 2 (coverage vs spread)            |
+| fig3_suite_scores          | Fig. 3a/b/c (scores x focus)           |
+| fig4_clustering            | Fig. 4 (Nbench vs SGXGauge clusters)   |
+| fig5_trend                 | Fig. 5 (LLC-miss trends)               |
+| fig6_pca_coverage          | Fig. 6 (PCA coverage)                  |
+| subset_generation          | Section IV-C (SPEC'17 43 -> 8 via LHS) |
+| multiplexing               | footnote 1 (PMU multiplexing error)    |
+| ablations                  | design-choice ablations (DESIGN.md)    |
+| machine_ablations          | machine-sensitivity ablations          |
+| stability                  | bootstrap / seed-replication stability |
+"""
+
+from repro.experiments.runner import ExperimentConfig, measure_suites
+
+__all__ = ["ExperimentConfig", "measure_suites"]

@@ -1,0 +1,91 @@
+"""Shared experiment infrastructure.
+
+All the figure/table drivers need the same thing first: measured counter
+matrices (with series) for some suites, at consistent trace-length
+settings. :func:`measure_suites` provides that with an in-process cache,
+so a bench session that regenerates Fig. 3, Fig. 4 and Fig. 6 simulates
+each suite exactly once.
+
+Two preset configurations:
+
+* :func:`ExperimentConfig.quick` -- short traces for CI/benches
+  (seconds per suite);
+* :func:`ExperimentConfig.full` -- the settings used for the numbers in
+  EXPERIMENTS.md (minutes for all six suites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.matrix import CounterMatrix
+from repro.perf.session import PerfSession
+from repro.workloads import load_suite
+
+_CACHE = {}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Trace-length and seed settings shared by the experiment drivers."""
+
+    n_intervals: int = 16
+    ops_per_interval: int = 1500
+    warmup_intervals: int = 6
+    warmup_boost: int = 8
+    seed: int = 7
+    metric_seed: int = 3
+
+    @classmethod
+    def quick(cls):
+        """Small traces: fast enough for the pytest-benchmark harness."""
+        return cls(n_intervals=12, ops_per_interval=800,
+                   warmup_intervals=4, warmup_boost=6)
+
+    @classmethod
+    def full(cls):
+        """The EXPERIMENTS.md settings."""
+        return cls()
+
+    def session(self):
+        """Build the PerfSession these settings describe."""
+        return PerfSession(
+            n_intervals=self.n_intervals,
+            ops_per_interval=self.ops_per_interval,
+            warmup_intervals=self.warmup_intervals,
+            warmup_boost=self.warmup_boost,
+            seed=self.seed,
+        )
+
+
+def measure_suites(names, config=None):
+    """Measured CounterMatrix per suite, cached per (suite, config).
+
+    Parameters
+    ----------
+    names:
+        Suite names (see :func:`repro.workloads.available_suites`).
+    config:
+        :class:`ExperimentConfig`; default :meth:`ExperimentConfig.full`.
+
+    Returns
+    -------
+    dict[str, CounterMatrix]
+    """
+    config = config if config is not None else ExperimentConfig.full()
+    out = {}
+    session = None
+    for name in names:
+        key = (name, config)
+        if key not in _CACHE:
+            if session is None:
+                session = config.session()
+            measurement = session.run_suite(load_suite(name))
+            _CACHE[key] = CounterMatrix.from_measurement(measurement)
+        out[name] = _CACHE[key]
+    return out
+
+
+def clear_cache():
+    """Drop all cached measurements (tests use this for isolation)."""
+    _CACHE.clear()

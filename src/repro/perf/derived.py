@@ -1,0 +1,162 @@
+"""Derived performance metrics.
+
+The Table IV events are raw counts; analysts read them as rates. This
+module computes the standard derived metrics (IPC, MPKI, miss ratios,
+stall fraction) from counter totals or :class:`CounterSample` streams.
+They are not Perspector inputs (the scores consume raw counters), but
+the examples and the workload-characterization tooling use them, and
+they are the vocabulary a real suite report would print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _ratio(numerator, denominator):
+    if denominator == 0:
+        return 0.0
+    return float(numerator / denominator)
+
+
+@dataclass(frozen=True)
+class DerivedMetrics:
+    """Derived rates for one workload measurement.
+
+    Attributes
+    ----------
+    ipc:
+        Instructions per cycle.
+    branch_mpki:
+        Branch mispredictions per kilo-instruction.
+    llc_mpki:
+        LLC misses (loads + stores) per kilo-instruction.
+    dtlb_mpki:
+        dTLB misses per kilo-instruction.
+    llc_miss_ratio:
+        LLC misses / LLC accesses.
+    dtlb_miss_ratio:
+        dTLB misses / dTLB accesses.
+    stall_fraction:
+        Memory-stall cycles / total cycles.
+    walk_cycle_fraction:
+        Page-walk cycles / total cycles.
+    faults_per_mop:
+        Page faults per million instructions.
+    """
+
+    ipc: float
+    branch_mpki: float
+    llc_mpki: float
+    dtlb_mpki: float
+    llc_miss_ratio: float
+    dtlb_miss_ratio: float
+    stall_fraction: float
+    walk_cycle_fraction: float
+    faults_per_mop: float
+
+    def as_dict(self):
+        return {
+            "ipc": self.ipc,
+            "branch_mpki": self.branch_mpki,
+            "llc_mpki": self.llc_mpki,
+            "dtlb_mpki": self.dtlb_mpki,
+            "llc_miss_ratio": self.llc_miss_ratio,
+            "dtlb_miss_ratio": self.dtlb_miss_ratio,
+            "stall_fraction": self.stall_fraction,
+            "walk_cycle_fraction": self.walk_cycle_fraction,
+            "faults_per_mop": self.faults_per_mop,
+        }
+
+
+def derive_from_totals(totals, instructions):
+    """Derived metrics from a Table IV totals dict.
+
+    Parameters
+    ----------
+    totals:
+        Event name -> total (must contain the Table IV events).
+    instructions:
+        Retired instruction count (not a Table IV event; the simulator's
+        :class:`WorkloadMeasurement` callers pass it separately, real
+        ``perf`` data has it as the ``instructions`` event).
+
+    Returns
+    -------
+    DerivedMetrics
+    """
+    if instructions < 0:
+        raise ValueError("instructions must be non-negative")
+    cycles = totals["cpu-cycles"]
+    kilo_instr = instructions / 1000.0
+    llc_misses = totals["LLC-load-misses"] + totals["LLC-store-misses"]
+    llc_accesses = totals["LLC-loads"] + totals["LLC-stores"]
+    dtlb_misses = totals["dTLB-load-misses"] + totals["dTLB-store-misses"]
+    dtlb_accesses = totals["dTLB-loads"] + totals["dTLB-stores"]
+    return DerivedMetrics(
+        ipc=_ratio(instructions, cycles),
+        branch_mpki=_ratio(totals["branch-misses"], kilo_instr),
+        llc_mpki=_ratio(llc_misses, kilo_instr),
+        dtlb_mpki=_ratio(dtlb_misses, kilo_instr),
+        llc_miss_ratio=_ratio(llc_misses, llc_accesses),
+        dtlb_miss_ratio=_ratio(dtlb_misses, dtlb_accesses),
+        stall_fraction=_ratio(totals["stalls_mem_any"], cycles),
+        walk_cycle_fraction=_ratio(totals["dtlb_walk_pending"], cycles),
+        faults_per_mop=_ratio(totals["page-faults"],
+                              instructions / 1e6),
+    )
+
+
+def derive_from_samples(samples):
+    """Derived metrics from a stream of CounterSample objects."""
+    samples = list(samples)
+    if not samples:
+        raise ValueError("no samples")
+    totals = {
+        "cpu-cycles": sum(s.cycles for s in samples),
+        "branch-misses": sum(s.branch_misses for s in samples),
+        "LLC-loads": sum(s.llc_loads for s in samples),
+        "LLC-stores": sum(s.llc_stores for s in samples),
+        "LLC-load-misses": sum(s.llc_load_misses for s in samples),
+        "LLC-store-misses": sum(s.llc_store_misses for s in samples),
+        "dTLB-loads": sum(s.dtlb_loads for s in samples),
+        "dTLB-stores": sum(s.dtlb_stores for s in samples),
+        "dTLB-load-misses": sum(s.dtlb_load_misses for s in samples),
+        "dTLB-store-misses": sum(s.dtlb_store_misses for s in samples),
+        "stalls_mem_any": sum(s.stalls_mem_any for s in samples),
+        "dtlb_walk_pending": sum(s.walk_pending_cycles for s in samples),
+        "page-faults": sum(s.page_faults for s in samples),
+    }
+    instructions = sum(s.instructions for s in samples)
+    return derive_from_totals(totals, instructions)
+
+
+def characterization_table(measurements, instructions_by_name):
+    """Text table of derived metrics for a set of workload measurements.
+
+    Parameters
+    ----------
+    measurements:
+        Iterable of :class:`repro.perf.session.WorkloadMeasurement`.
+    instructions_by_name:
+        Workload name -> retired instruction total.
+
+    Returns
+    -------
+    str
+    """
+    header = (
+        f"{'workload':<20} {'IPC':>6} {'brMPKI':>7} {'llcMPKI':>8} "
+        f"{'tlbMPKI':>8} {'stall%':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for m in measurements:
+        d = derive_from_totals(m.totals, instructions_by_name[m.name])
+        lines.append(
+            f"{m.name:<20} {d.ipc:>6.2f} {d.branch_mpki:>7.2f} "
+            f"{d.llc_mpki:>8.2f} {d.dtlb_mpki:>8.2f} "
+            f"{d.stall_fraction:>6.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Full suite report: the complete text output a tool user reads.
+
+Combines everything one measurement session knows about a suite --
+Perspector scorecard, per-workload derived metrics (IPC, MPKI, ...), and
+trace profiles (footprints, locality) -- into one report. Exposed on the
+CLI as ``perspector report <suite>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.matrix import CounterMatrix
+from repro.core.perspector import Perspector
+from repro.perf.derived import derive_from_totals
+from repro.workloads.analysis import profile_workload
+
+
+@dataclass(frozen=True)
+class SuiteReport:
+    """All computed sections of one suite's report.
+
+    Attributes
+    ----------
+    suite_name:
+        The reported suite.
+    scorecard:
+        The Perspector :class:`SuiteScorecard`.
+    derived:
+        Workload name -> :class:`DerivedMetrics`.
+    profiles:
+        Workload name -> :class:`TraceProfile` (trace-level statistics).
+    """
+
+    suite_name: str
+    scorecard: object
+    derived: dict
+    profiles: dict
+
+
+def build_report(suite, session, metric_seed=3, profile_ops=300,
+                 profile_intervals=4):
+    """Measure a suite and assemble its full report.
+
+    Parameters
+    ----------
+    suite:
+        :class:`repro.workloads.base.Suite`.
+    session:
+        :class:`repro.perf.session.PerfSession` for the measurement.
+    metric_seed:
+        Perspector seed.
+    profile_ops / profile_intervals:
+        Trace-profiling lengths (profiling is cheap; these stay small).
+
+    Returns
+    -------
+    SuiteReport
+    """
+    measurement = session.run_suite(suite)
+    matrix = CounterMatrix.from_measurement(measurement)
+    scorecard = Perspector(seed=metric_seed).score(matrix)
+
+    derived = {}
+    for i, name in enumerate(measurement.workload_names):
+        totals = {e: measurement.matrix[i, j]
+                  for j, e in enumerate(measurement.events)}
+        derived[name] = derive_from_totals(
+            totals, measurement.instructions[i]
+        )
+
+    profiles = {
+        w.name: profile_workload(w, n_intervals=profile_intervals,
+                                 ops_per_interval=profile_ops,
+                                 seed=session.seed)
+        for w in suite
+    }
+    return SuiteReport(
+        suite_name=suite.name,
+        scorecard=scorecard,
+        derived=derived,
+        profiles=profiles,
+    )
+
+
+def render_report(report):
+    """Render a SuiteReport as text."""
+    lines = [
+        f"Perspector suite report: {report.suite_name}",
+        "=" * 60,
+        "",
+        "scores:",
+        f"  {report.scorecard}",
+        "",
+        "per-workload characterization:",
+    ]
+    header = (
+        f"  {'workload':<20} {'IPC':>6} {'brMPKI':>8} {'llcMPKI':>8} "
+        f"{'tlbMPKI':>8} {'stall%':>7} {'faults/Mop':>11}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for name, d in report.derived.items():
+        lines.append(
+            f"  {name:<20} {d.ipc:>6.2f} {d.branch_mpki:>8.2f} "
+            f"{d.llc_mpki:>8.2f} {d.dtlb_mpki:>8.2f} "
+            f"{d.stall_fraction:>6.1%} {d.faults_per_mop:>11.1f}"
+        )
+    lines.append("")
+    lines.append("trace profiles:")
+    header = (
+        f"  {'workload':<20} {'footprint':>10} {'pages':>7} {'seq%':>6} "
+        f"{'store%':>7} {'br/op':>6}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for name, p in report.profiles.items():
+        mb = p.footprint_bytes / (1024 * 1024)
+        lines.append(
+            f"  {name:<20} {mb:>8.1f}MB {p.page_footprint:>7} "
+            f"{p.sequential_fraction:>6.0%} {p.store_fraction:>7.0%} "
+            f"{p.branch_per_op:>6.2f}"
+        )
+    return "\n".join(lines)

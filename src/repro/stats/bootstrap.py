@@ -1,0 +1,155 @@
+"""Bootstrap confidence intervals.
+
+The Perspector scores are point estimates computed from one measurement
+run. How stable are they -- and, more importantly, how stable are the
+*suite rankings* built on them? This module provides the standard
+nonparametric bootstrap (percentile intervals over row resampling) used
+by the stability ablation: resample a suite's workloads with
+replacement, recompute a statistic, and read the spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Bootstrap distribution summary of a statistic.
+
+    Attributes
+    ----------
+    estimate:
+        The statistic on the original sample.
+    low / high:
+        Percentile confidence bounds.
+    confidence:
+        The interval's nominal coverage (e.g. 0.95).
+    samples:
+        The bootstrap replicate values.
+    """
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    samples: np.ndarray
+
+    @property
+    def width(self):
+        return self.high - self.low
+
+    def contains(self, value):
+        return self.low <= value <= self.high
+
+
+def bootstrap_statistic(rows, statistic, n_boot=200, confidence=0.95,
+                        rng=None, min_rows=2, replace=True,
+                        subsample_size=None):
+    """Percentile-bootstrap (or subsample) a row-wise statistic.
+
+    Parameters
+    ----------
+    rows:
+        2-D array; resampling happens over axis 0 (the workloads).
+    statistic:
+        Callable mapping a resampled 2-D array to a float. With the
+        classic bootstrap (``replace=True``), statistics must tolerate
+        duplicated rows; duplicates *bias* distance-based statistics
+        (duplicate rows look like perfectly tight clusters and shrink
+        min-max ranges), so cluster/coverage-style scores should use
+        ``replace=False`` subsampling instead.
+    n_boot:
+        Number of replicates.
+    confidence:
+        Interval coverage in (0, 1).
+    rng:
+        Seed or Generator.
+    min_rows:
+        With replacement, resamples are redrawn until at least this many
+        *distinct* rows are present.
+    replace:
+        ``True``: classic n-out-of-n bootstrap. ``False``: m-out-of-n
+        subsampling without replacement.
+    subsample_size:
+        ``m`` for the subsampling variant (default ``n - 1``).
+
+    Returns
+    -------
+    BootstrapResult
+    """
+    rows = np.asarray(rows, dtype=float)
+    if rows.ndim != 2:
+        raise ValueError(f"rows must be 2-D, got shape {rows.shape}")
+    n = rows.shape[0]
+    if n < 2:
+        raise ValueError("need at least two rows to bootstrap")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_boot < 1:
+        raise ValueError("n_boot must be >= 1")
+    if not replace:
+        if subsample_size is None:
+            subsample_size = n - 1
+        if not (2 <= subsample_size <= n):
+            raise ValueError(
+                f"subsample_size must be in [2, {n}], got {subsample_size}"
+            )
+    rng = np.random.default_rng(rng)
+
+    estimate = float(statistic(rows))
+    samples = np.empty(n_boot)
+    for b in range(n_boot):
+        if replace:
+            for _ in range(32):
+                idx = rng.integers(0, n, size=n)
+                if np.unique(idx).size >= min(min_rows, n):
+                    break
+        else:
+            idx = rng.choice(n, size=subsample_size, replace=False)
+        samples[b] = statistic(rows[idx])
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(samples, [alpha, 1.0 - alpha])
+    return BootstrapResult(
+        estimate=estimate,
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+        samples=samples,
+    )
+
+
+def ranking_stability(score_by_suite, score_samples_by_suite):
+    """How often does the point-estimate ranking survive resampling?
+
+    Parameters
+    ----------
+    score_by_suite:
+        Suite name -> point estimate.
+    score_samples_by_suite:
+        Suite name -> bootstrap replicate array (all the same length).
+
+    Returns
+    -------
+    float
+        Fraction of bootstrap replicates whose induced ranking equals
+        the point-estimate ranking.
+    """
+    names = list(score_by_suite)
+    if not names:
+        raise ValueError("no suites")
+    lengths = {len(score_samples_by_suite[n]) for n in names}
+    if len(lengths) != 1:
+        raise ValueError("replicate arrays must share a length")
+    n_boot = lengths.pop()
+    reference = tuple(sorted(names, key=lambda n: score_by_suite[n]))
+    stable = 0
+    for b in range(n_boot):
+        ranking = tuple(
+            sorted(names, key=lambda n: score_samples_by_suite[n][b])
+        )
+        if ranking == reference:
+            stable += 1
+    return stable / n_boot

@@ -1,0 +1,115 @@
+"""Vector and pairwise distance computations.
+
+The Perspector metrics use Euclidean distance throughout (Eq. 1-2 of the
+paper define the silhouette dissimilarities in terms of ``dis(p, p')``, the
+Euclidean distance).  The pairwise helpers here are shared by the K-means,
+silhouette, and hierarchical-clustering implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SUPPORTED_METRICS = ("euclidean", "sqeuclidean", "manhattan", "chebyshev")
+
+
+def euclidean(a, b):
+    """Euclidean distance between two vectors.
+
+    Parameters
+    ----------
+    a, b:
+        Array-likes of the same shape.
+
+    Returns
+    -------
+    float
+        ``sqrt(sum((a - b) ** 2))``.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(
+            f"shape mismatch: {a.shape} vs {b.shape}"
+        )
+    return float(np.sqrt(np.sum((a - b) ** 2)))
+
+
+def manhattan(a, b):
+    """Manhattan (L1) distance between two vectors."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(
+            f"shape mismatch: {a.shape} vs {b.shape}"
+        )
+    return float(np.sum(np.abs(a - b)))
+
+
+def _validate_matrix(x, name="x"):
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {x.shape}")
+    if x.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one row")
+    if not np.all(np.isfinite(x)):
+        raise ValueError(f"{name} contains non-finite values")
+    return x
+
+
+def cdist(a, b, metric="euclidean"):
+    """Pairwise distances between the rows of two matrices.
+
+    Parameters
+    ----------
+    a:
+        Matrix of shape ``(n, d)``.
+    b:
+        Matrix of shape ``(m, d)``.
+    metric:
+        One of ``euclidean``, ``sqeuclidean``, ``manhattan``, ``chebyshev``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Distance matrix of shape ``(n, m)``.
+    """
+    a = _validate_matrix(a, "a")
+    b = _validate_matrix(b, "b")
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: {a.shape[1]} vs {b.shape[1]}"
+        )
+    if metric not in _SUPPORTED_METRICS:
+        raise ValueError(
+            f"unknown metric {metric!r}; expected one of {_SUPPORTED_METRICS}"
+        )
+
+    if metric in ("euclidean", "sqeuclidean"):
+        # (a - b)^2 = a^2 + b^2 - 2ab, computed without forming the full
+        # (n, m, d) broadcast tensor.
+        aa = np.sum(a * a, axis=1)[:, None]
+        bb = np.sum(b * b, axis=1)[None, :]
+        sq = aa + bb - 2.0 * (a @ b.T)
+        np.maximum(sq, 0.0, out=sq)  # guard tiny negatives from rounding
+        if metric == "sqeuclidean":
+            return sq
+        return np.sqrt(sq)
+
+    diff = a[:, None, :] - b[None, :, :]
+    if metric == "manhattan":
+        return np.sum(np.abs(diff), axis=2)
+    return np.max(np.abs(diff), axis=2)  # chebyshev
+
+
+def pairwise_distances(x, metric="euclidean"):
+    """Symmetric pairwise distance matrix of the rows of ``x``.
+
+    Equivalent to ``cdist(x, x, metric)`` but guarantees an exactly zero
+    diagonal and exact symmetry, which the silhouette computation relies on.
+    """
+    x = _validate_matrix(x)
+    d = cdist(x, x, metric=metric)
+    d = 0.5 * (d + d.T)
+    np.fill_diagonal(d, 0.0)
+    return d

@@ -1,0 +1,250 @@
+"""Dynamic time warping (DTW).
+
+The TrendScore (Section III-B, Eq. 7-8) measures how differently two
+workloads' PMU time series evolve by the DTW distance between them [27].
+DTW non-linearly warps the time axis to find the minimum-cost alignment of
+two series that may have different lengths.
+
+Implementation notes
+--------------------
+* The recurrence is the classic ``D[i,j] = cost(i,j) + min(D[i-1,j],
+  D[i,j-1], D[i-1,j-1])`` with an absolute-difference local cost for 1-D
+  series (Euclidean for multivariate rows).
+* The cost matrix is filled row by row with vectorized numpy ops; only the
+  inherently sequential row loop remains in Python.
+* An optional Sakoe-Chiba band constrains the warping path to a diagonal
+  corridor -- an ablation knob (the paper uses unconstrained DTW).
+* :func:`dtw_path` recovers the optimal alignment for inspection/plots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_series(t, name):
+    t = np.asarray(t, dtype=float)
+    if t.ndim == 1:
+        t = t[:, None]
+    if t.ndim != 2:
+        raise ValueError(f"{name} must be 1-D or 2-D, got shape {t.shape}")
+    if t.shape[0] == 0:
+        raise ValueError(f"{name} is empty")
+    if not np.all(np.isfinite(t)):
+        raise ValueError(f"{name} contains non-finite values")
+    return t
+
+
+def _local_cost_matrix(a, b):
+    """Pairwise local costs between all elements of two series."""
+    if a.shape[1] == 1 and b.shape[1] == 1:
+        return np.abs(a[:, 0][:, None] - b[:, 0][None, :])
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt(np.sum(diff * diff, axis=2))
+
+
+def _accumulate_banded(cost, band):
+    """Row-by-row DTW fill with a Sakoe-Chiba band (reference path)."""
+    n, m = cost.shape
+    acc = np.full((n, m), np.inf)
+    band = max(band, abs(n - m))  # band must admit the corner cell
+    acc[0, 0] = cost[0, 0]
+    for j in range(1, m):
+        if j > band:
+            break
+        acc[0, j] = acc[0, j - 1] + cost[0, j]
+    for i in range(1, n):
+        if i > band:
+            break
+        acc[i, 0] = acc[i - 1, 0] + cost[i, 0]
+    for i in range(1, n):
+        lo = max(1, i - band)
+        hi = min(m, i + band + 1)
+        if lo >= hi:
+            continue
+        prev = acc[i - 1]
+        row = acc[i]
+        best_up = np.minimum(prev[lo:hi], prev[lo - 1 : hi - 1])
+        seg = cost[i, lo:hi]
+        left = row[lo - 1]
+        for off in range(hi - lo):
+            left = seg[off] + min(best_up[off], left)
+            row[lo + off] = left
+    return acc
+
+
+def _accumulate(cost, band=None):
+    """Fill the DTW accumulated-cost matrix.
+
+    The unbanded path runs an anti-diagonal wavefront: every cell on
+    diagonal ``d = i + j`` depends only on diagonals ``d-1`` and ``d-2``,
+    so each wavefront step is one vectorized numpy minimum -- ~50x
+    faster than the per-cell recurrence for the 100-point grids the
+    TrendScore uses.
+    """
+    if band is not None:
+        return _accumulate_banded(cost, band)
+    n, m = cost.shape
+    acc = np.full((n, m), np.inf)
+    acc[0, 0] = cost[0, 0]
+    acc[0, 1:] = np.cumsum(cost[0, 1:]) + cost[0, 0]
+    acc[:, 0] = np.cumsum(cost[:, 0])
+    if n == 1 or m == 1:
+        return acc
+    # Wavefront over anti-diagonals d = i + j, starting where interior
+    # cells (i >= 1, j >= 1) first appear.
+    for d in range(2, n + m - 1):
+        i_lo = max(1, d - (m - 1))
+        i_hi = min(n - 1, d - 1)
+        if i_lo > i_hi:
+            continue
+        i = np.arange(i_lo, i_hi + 1)
+        j = d - i
+        up = acc[i - 1, j]
+        left = acc[i, j - 1]
+        diag = acc[i - 1, j - 1]
+        acc[i, j] = cost[i, j] + np.minimum(np.minimum(up, left), diag)
+    return acc
+
+
+def dtw_distance(a, b, band=None, normalize=False):
+    """DTW distance between two series.
+
+    Parameters
+    ----------
+    a, b:
+        1-D series (or 2-D ``(len, dims)`` multivariate series).
+    band:
+        Optional Sakoe-Chiba band half-width; ``None`` means unconstrained
+        (the paper's setting).
+    normalize:
+        If ``True``, divide the path cost by the warping path length,
+        making distances comparable across series-length scales.
+
+    Returns
+    -------
+    float
+    """
+    a = _as_series(a, "a")
+    b = _as_series(b, "b")
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"dimensionality mismatch: {a.shape[1]} vs {b.shape[1]}"
+        )
+    cost = _local_cost_matrix(a, b)
+    acc = _accumulate(cost, band=band)
+    total = float(acc[-1, -1])
+    if not normalize:
+        return total
+    path = _traceback(acc)
+    return total / len(path)
+
+
+def _traceback(acc):
+    """Recover the optimal warping path from the accumulated-cost matrix."""
+    i, j = acc.shape[0] - 1, acc.shape[1] - 1
+    path = [(i, j)]
+    while i > 0 or j > 0:
+        if i == 0:
+            j -= 1
+        elif j == 0:
+            i -= 1
+        else:
+            candidates = (
+                (acc[i - 1, j - 1], i - 1, j - 1),
+                (acc[i - 1, j], i - 1, j),
+                (acc[i, j - 1], i, j - 1),
+            )
+            _, i, j = min(candidates, key=lambda c: c[0])
+        path.append((i, j))
+    path.reverse()
+    return path
+
+
+def dtw_path(a, b, band=None):
+    """DTW distance plus the optimal alignment path.
+
+    Returns
+    -------
+    tuple[float, list[tuple[int, int]]]
+        ``(distance, [(i, j), ...])`` with the path running from ``(0, 0)``
+        to ``(len(a)-1, len(b)-1)``.
+    """
+    a = _as_series(a, "a")
+    b = _as_series(b, "b")
+    cost = _local_cost_matrix(a, b)
+    acc = _accumulate(cost, band=band)
+    return float(acc[-1, -1]), _traceback(acc)
+
+
+def _pairwise_aligned(x):
+    """All-pairs DTW distances for equal-length 1-D series, computed as
+    one batched anti-diagonal wavefront over a ``(pairs, L, L)`` tensor.
+
+    Parameters
+    ----------
+    x:
+        ``(k, L)`` matrix, one series per row.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(k, k)`` symmetric distance matrix.
+    """
+    k, length = x.shape
+    out = np.zeros((k, k))
+    if k < 2:
+        return out
+    idx_i, idx_j = np.triu_indices(k, k=1)
+    cost = np.abs(x[idx_i][:, :, None] - x[idx_j][:, None, :])
+    p = cost.shape[0]
+    acc = np.empty_like(cost)
+    acc[:, 0, :] = np.cumsum(cost[:, 0, :], axis=1)
+    acc[:, :, 0] = np.cumsum(cost[:, :, 0], axis=1)
+    for d in range(2, 2 * length - 1):
+        i_lo = max(1, d - (length - 1))
+        i_hi = min(length - 1, d - 1)
+        if i_lo > i_hi:
+            continue
+        i = np.arange(i_lo, i_hi + 1)
+        j = d - i
+        up = acc[:, i - 1, j]
+        left = acc[:, i, j - 1]
+        diag = acc[:, i - 1, j - 1]
+        acc[:, i, j] = cost[:, i, j] + np.minimum(
+            np.minimum(up, left), diag
+        )
+    totals = acc[:, -1, -1]
+    out[idx_i, idx_j] = totals
+    out[idx_j, idx_i] = totals
+    return out
+
+
+def dtw_matrix(series, band=None, normalize=False):
+    """Symmetric pairwise DTW distance matrix for a list of series.
+
+    This is the inner computation of Eq. 7: ``TScore_z`` averages the
+    off-diagonal entries of this matrix. Equal-length 1-D series without
+    band/normalize options take the batched wavefront fast path (the
+    TrendScore always lands there after the Fig. 1 normalization).
+    """
+    n = len(series)
+    if n == 0:
+        raise ValueError("series list is empty")
+    arrays = [np.asarray(s, dtype=float) for s in series]
+    if (
+        band is None
+        and not normalize
+        and all(a.ndim == 1 for a in arrays)
+        and len({a.shape[0] for a in arrays}) == 1
+        and all(np.all(np.isfinite(a)) for a in arrays)
+        and arrays[0].shape[0] > 0
+    ):
+        return _pairwise_aligned(np.vstack(arrays))
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = dtw_distance(series[i], series[j], band=band, normalize=normalize)
+            out[i, j] = d
+            out[j, i] = d
+    return out

@@ -1,0 +1,180 @@
+"""Agglomerative (hierarchical) clustering.
+
+Prior work on benchmark-suite redundancy (Table I of the paper:
+Phansalkar et al. [17, 19], Limaye & Adegbija [15], Panda et al. [16, 18])
+reduces the counter matrix with PCA and then clusters the principal
+components with *hierarchical* clustering. Perspector argues K-means +
+silhouette is the better fulcrum; this module implements the prior-work
+machinery so the baseline methodology can be reproduced and compared.
+
+The implementation is the standard stored-distance agglomerative algorithm
+with Lance-Williams updates, supporting single, complete, average (UPGMA),
+and Ward linkage. It produces a scipy-style ``(n-1, 4)`` linkage matrix
+(merged cluster ids, merge distance, new cluster size) plus helpers to cut
+the dendrogram into a requested number of flat clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.distance import pairwise_distances
+
+_LINKAGES = ("single", "complete", "average", "ward")
+
+
+def _lance_williams(linkage, d_ik, d_jk, d_ij, n_i, n_j, n_k):
+    """Distance from merged cluster (i u j) to cluster k."""
+    if linkage == "single":
+        return min(d_ik, d_jk)
+    if linkage == "complete":
+        return max(d_ik, d_jk)
+    if linkage == "average":
+        return (n_i * d_ik + n_j * d_jk) / (n_i + n_j)
+    # Ward (on Euclidean distances).
+    total = n_i + n_j + n_k
+    return np.sqrt(
+        ((n_i + n_k) * d_ik ** 2 + (n_j + n_k) * d_jk ** 2 - n_k * d_ij ** 2)
+        / total
+    )
+
+
+def linkage_matrix(x, linkage="average", precomputed_distances=None):
+    """Agglomerative clustering of the rows of ``x``.
+
+    Parameters
+    ----------
+    x:
+        Data matrix ``(n_samples, n_features)``.
+    linkage:
+        ``single`` | ``complete`` | ``average`` | ``ward``.
+    precomputed_distances:
+        Optional pairwise distance matrix (Euclidean assumed for Ward).
+
+    Returns
+    -------
+    numpy.ndarray
+        scipy-compatible linkage matrix of shape ``(n - 1, 4)``. Row ``t``
+        records the ``t``-th merge: cluster ids (original points are
+        ``0..n-1``, merges create ``n+t``), the merge distance, and the
+        size of the new cluster.
+    """
+    if linkage not in _LINKAGES:
+        raise ValueError(f"unknown linkage {linkage!r}; expected {_LINKAGES}")
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"x must be 2-D, got shape {x.shape}")
+    n = x.shape[0]
+    if n < 2:
+        raise ValueError("need at least two samples to cluster")
+
+    if precomputed_distances is None:
+        dist = pairwise_distances(x)
+    else:
+        dist = np.array(precomputed_distances, dtype=float)
+        if dist.shape != (n, n):
+            raise ValueError(
+                f"distance matrix shape {dist.shape} != {(n, n)}"
+            )
+    dist = dist.copy()
+    np.fill_diagonal(dist, np.inf)
+
+    active = list(range(n))           # positions still live in `dist`
+    cluster_id = list(range(n))       # dendrogram id at each position
+    sizes = {i: 1 for i in range(n)}  # id -> member count
+    merges = np.zeros((n - 1, 4))
+
+    for t in range(n - 1):
+        sub = dist[np.ix_(active, active)]
+        flat = int(np.argmin(sub))
+        pi, pj = divmod(flat, len(active))
+        if pi > pj:
+            pi, pj = pj, pi
+        i_pos, j_pos = active[pi], active[pj]
+        ci, cj = cluster_id[i_pos], cluster_id[j_pos]
+        d_ij = dist[i_pos, j_pos]
+        new_id = n + t
+        new_size = sizes[ci] + sizes[cj]
+        merges[t] = (min(ci, cj), max(ci, cj), d_ij, new_size)
+
+        # Update distances from the merged cluster (kept at i_pos).
+        for pk in active:
+            if pk in (i_pos, j_pos):
+                continue
+            ck = cluster_id[pk]
+            updated = _lance_williams(
+                linkage,
+                dist[i_pos, pk],
+                dist[j_pos, pk],
+                d_ij,
+                sizes[ci],
+                sizes[cj],
+                sizes[ck],
+            )
+            dist[i_pos, pk] = updated
+            dist[pk, i_pos] = updated
+        active.remove(j_pos)
+        cluster_id[i_pos] = new_id
+        sizes[new_id] = new_size
+    return merges
+
+
+def fcluster_by_count(merges, n_clusters):
+    """Cut a linkage matrix into ``n_clusters`` flat clusters.
+
+    Undoes the last ``n_clusters - 1`` merges and labels the leaves by
+    their remaining component. Labels are contiguous integers starting at
+    0, ordered by smallest member index.
+    """
+    merges = np.asarray(merges, dtype=float)
+    n = merges.shape[0] + 1
+    if not (1 <= n_clusters <= n):
+        raise ValueError(
+            f"n_clusters must be in [1, {n}], got {n_clusters}"
+        )
+    # Union-find over the first (n - n_clusters) merges.
+    parent = list(range(n + merges.shape[0]))
+
+    def find(a):
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for t in range(n - n_clusters):
+        a, b = int(merges[t, 0]), int(merges[t, 1])
+        new = n + t
+        parent[find(a)] = new
+        parent[find(b)] = new
+
+    roots = {}
+    labels = np.empty(n, dtype=int)
+    for leaf in range(n):
+        r = find(leaf)
+        if r not in roots:
+            roots[r] = len(roots)
+        labels[leaf] = roots[r]
+    return labels
+
+
+@dataclass
+class HierarchicalClustering:
+    """Estimator-style wrapper around :func:`linkage_matrix`.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of flat clusters to cut the dendrogram into.
+    linkage:
+        Linkage criterion (see :func:`linkage_matrix`).
+    """
+
+    n_clusters: int
+    linkage: str = "average"
+
+    def fit_predict(self, x):
+        """Cluster ``x`` and return integer labels per row."""
+        merges = linkage_matrix(x, linkage=self.linkage)
+        return fcluster_by_count(merges, self.n_clusters)

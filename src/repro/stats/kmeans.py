@@ -1,0 +1,190 @@
+"""K-means clustering.
+
+The ClusterScore (Section III-A of the paper) clusters the normalized
+counter matrix with K-means [24] and grades the clustering with the
+silhouette score. This module provides the clustering half:
+
+* k-means++ seeding (D^2-weighted sampling), the standard defence against
+  poor random initial centroids;
+* Lloyd's iterations with an explicit convergence tolerance;
+* multiple restarts keeping the lowest-inertia solution, so the downstream
+  silhouette values are stable across runs;
+* deterministic behaviour under an explicit seed, which the experiment
+  harness relies on.
+
+Empty clusters -- likely here because benchmark-suite matrices are tiny
+(tens of rows) -- are repaired by reseeding the empty centroid at the point
+farthest from its assigned centroid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.stats.distance import cdist
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a K-means run.
+
+    Attributes
+    ----------
+    labels:
+        Cluster index per input row, shape ``(n_samples,)``.
+    centroids:
+        Final centroids, shape ``(k, n_features)``.
+    inertia:
+        Sum of squared distances of samples to their assigned centroid.
+    n_iter:
+        Lloyd iterations executed by the best restart.
+    converged:
+        Whether the best restart met the tolerance before ``max_iter``.
+    """
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    n_iter: int
+    converged: bool
+
+    @property
+    def k(self):
+        """Number of clusters."""
+        return int(self.centroids.shape[0])
+
+    def cluster_sizes(self):
+        """Number of points assigned to each cluster, shape ``(k,)``."""
+        return np.bincount(self.labels, minlength=self.k)
+
+
+def _plus_plus_init(x, k, rng):
+    """k-means++ seeding: D^2-weighted centroid selection."""
+    n = x.shape[0]
+    centroids = np.empty((k, x.shape[1]), dtype=float)
+    first = int(rng.integers(n))
+    centroids[0] = x[first]
+    closest_sq = cdist(x, centroids[:1], metric="sqeuclidean")[:, 0]
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All points coincide with chosen centroids; pick uniformly.
+            idx = int(rng.integers(n))
+        else:
+            probs = closest_sq / total
+            idx = int(rng.choice(n, p=probs))
+        centroids[i] = x[idx]
+        new_sq = cdist(x, centroids[i : i + 1], metric="sqeuclidean")[:, 0]
+        np.minimum(closest_sq, new_sq, out=closest_sq)
+    return centroids
+
+
+def _lloyd(x, centroids, max_iter, tol):
+    """Run Lloyd's algorithm from the given centroids."""
+    k = centroids.shape[0]
+    labels = np.zeros(x.shape[0], dtype=int)
+    converged = False
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        dists = cdist(x, centroids, metric="sqeuclidean")
+        labels = np.argmin(dists, axis=1)
+        new_centroids = np.empty_like(centroids)
+        for j in range(k):
+            members = x[labels == j]
+            if members.shape[0] == 0:
+                # Repair: move the empty centroid to the point currently
+                # worst-served by its centroid.
+                worst = int(np.argmax(np.min(dists, axis=1)))
+                new_centroids[j] = x[worst]
+            else:
+                new_centroids[j] = members.mean(axis=0)
+        shift = float(np.sqrt(np.sum((new_centroids - centroids) ** 2)))
+        centroids = new_centroids
+        if shift <= tol:
+            converged = True
+            break
+    dists = cdist(x, centroids, metric="sqeuclidean")
+    labels = np.argmin(dists, axis=1)
+    inertia = float(np.sum(dists[np.arange(x.shape[0]), labels]))
+    return labels, centroids, inertia, n_iter, converged
+
+
+@dataclass
+class KMeans:
+    """Configurable K-means estimator.
+
+    Parameters
+    ----------
+    k:
+        Number of clusters. Must satisfy ``1 <= k <= n_samples``.
+    n_restarts:
+        Independent k-means++ initializations; the lowest-inertia solution
+        wins.
+    max_iter:
+        Iteration cap per restart.
+    tol:
+        Centroid-shift (Frobenius) convergence threshold.
+    seed:
+        Seed for the internal :class:`numpy.random.Generator`.
+    """
+
+    k: int
+    n_restarts: int = 8
+    max_iter: int = 300
+    tol: float = 1e-9
+    seed: int | None = None
+    _rng: np.random.Generator = field(init=False, repr=False, default=None)
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.n_restarts < 1:
+            raise ValueError(f"n_restarts must be >= 1, got {self.n_restarts}")
+        self._rng = np.random.default_rng(self.seed)
+
+    def fit(self, x):
+        """Cluster the rows of ``x``.
+
+        Returns
+        -------
+        KMeansResult
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        n = x.shape[0]
+        if n < self.k:
+            raise ValueError(f"cannot form {self.k} clusters from {n} samples")
+        if self.k == 1:
+            centroid = x.mean(axis=0, keepdims=True)
+            inertia = float(np.sum((x - centroid) ** 2))
+            return KMeansResult(
+                labels=np.zeros(n, dtype=int),
+                centroids=centroid,
+                inertia=inertia,
+                n_iter=0,
+                converged=True,
+            )
+
+        best = None
+        for _ in range(self.n_restarts):
+            init = _plus_plus_init(x, self.k, self._rng)
+            labels, centroids, inertia, n_iter, converged = _lloyd(
+                x, init, self.max_iter, self.tol
+            )
+            if best is None or inertia < best.inertia:
+                best = KMeansResult(
+                    labels=labels,
+                    centroids=centroids,
+                    inertia=inertia,
+                    n_iter=n_iter,
+                    converged=converged,
+                )
+        return best
+
+
+def kmeans(x, k, seed=None, n_restarts=8):
+    """Functional shorthand for ``KMeans(k, ...).fit(x)``."""
+    return KMeans(k=k, seed=seed, n_restarts=n_restarts).fit(x)

@@ -1,0 +1,122 @@
+"""Latin hypercube sampling (LHS).
+
+Section IV-C builds benchmark-suite subsets with LHS [33]: each of the
+``M`` dimensions (one per PMU counter) is divided into as many equal
+regions as points requested, and exactly one point is sampled per region
+per dimension. This stratification guarantees marginal coverage that plain
+uniform sampling does not.
+
+Two variants:
+
+* :func:`latin_hypercube` -- classic LHS (random permutations per
+  dimension, random jitter within each stratum);
+* :func:`maximin_latin_hypercube` -- draws several LHS designs and keeps
+  the one maximizing the minimum pairwise point distance, improving the
+  space-filling property (used by the subset generator so the selected
+  anchor points, and hence the chosen workloads, are well spread).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.distance import pairwise_distances
+
+
+def _check_args(n_samples, n_dims):
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    if n_dims < 1:
+        raise ValueError(f"n_dims must be >= 1, got {n_dims}")
+
+
+def latin_hypercube(n_samples, n_dims, rng=None, centered=False):
+    """Draw an LHS design in the unit hypercube.
+
+    Parameters
+    ----------
+    n_samples:
+        Number of points (== number of strata per dimension).
+    n_dims:
+        Dimensionality of the design.
+    rng:
+        :class:`numpy.random.Generator` or seed.
+    centered:
+        If ``True``, place each point at the centre of its stratum instead
+        of jittering uniformly inside it (deterministic given the
+        permutations).
+
+    Returns
+    -------
+    numpy.ndarray
+        Design matrix of shape ``(n_samples, n_dims)`` with every column a
+        permutation of the stratified values -- i.e. exactly one point per
+        ``1/n_samples``-wide interval in every dimension.
+    """
+    _check_args(n_samples, n_dims)
+    rng = np.random.default_rng(rng)
+    out = np.empty((n_samples, n_dims))
+    base = np.arange(n_samples, dtype=float)
+    for d in range(n_dims):
+        perm = rng.permutation(n_samples)
+        if centered:
+            offsets = 0.5
+        else:
+            offsets = rng.uniform(size=n_samples)
+        out[:, d] = (base[perm] + offsets) / n_samples
+    return out
+
+
+def maximin_latin_hypercube(n_samples, n_dims, rng=None, n_candidates=32,
+                            centered=False):
+    """LHS design maximizing the minimum pairwise distance.
+
+    Draws ``n_candidates`` independent LHS designs and returns the one with
+    the largest minimum inter-point distance. With ``n_samples == 1`` the
+    criterion is vacuous and a single draw is returned.
+    """
+    _check_args(n_samples, n_dims)
+    if n_candidates < 1:
+        raise ValueError(f"n_candidates must be >= 1, got {n_candidates}")
+    rng = np.random.default_rng(rng)
+    if n_samples == 1:
+        return latin_hypercube(1, n_dims, rng=rng, centered=centered)
+
+    best = None
+    best_score = -np.inf
+    for _ in range(n_candidates):
+        design = latin_hypercube(n_samples, n_dims, rng=rng, centered=centered)
+        d = pairwise_distances(design)
+        np.fill_diagonal(d, np.inf)
+        score = float(d.min())
+        if score > best_score:
+            best_score = score
+            best = design
+    return best
+
+
+def lhs_strata(n_samples):
+    """Stratum boundaries for an ``n_samples``-point LHS in one dimension.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(n_samples + 1,)``: ``[0, 1/n, 2/n, ..., 1]``.
+    """
+    _check_args(n_samples, 1)
+    return np.linspace(0.0, 1.0, n_samples + 1)
+
+
+def is_latin_hypercube(design, atol=1e-12):
+    """Check the LHS invariant: one point per stratum in every dimension."""
+    design = np.asarray(design, dtype=float)
+    if design.ndim != 2:
+        raise ValueError(f"design must be 2-D, got shape {design.shape}")
+    n = design.shape[0]
+    if np.any(design < -atol) or np.any(design > 1 + atol):
+        return False
+    strata = np.floor(np.clip(design, 0, np.nextafter(1, 0)) * n).astype(int)
+    for d in range(design.shape[1]):
+        if np.unique(strata[:, d]).size != n:
+            return False
+    return True

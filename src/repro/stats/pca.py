@@ -1,0 +1,157 @@
+"""Principal component analysis via singular value decomposition.
+
+The CoverageScore (Section III-C.2) reduces the jointly normalized counter
+matrix with PCA, retaining enough components to preserve 98% of the
+variance (Eq. 11-12), then scores the suite by the mean variance of the
+retained components (Eq. 13).
+
+This implementation centres the data, takes the thin SVD, and exposes both
+a fixed component count and a retained-variance-ratio cutoff. Components
+use the deterministic sign convention (largest-magnitude loading positive)
+so results are reproducible across platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PCAResult:
+    """Fitted PCA model plus the transformed data.
+
+    Attributes
+    ----------
+    transformed:
+        Projected data, shape ``(n_samples, n_components)``.
+    components:
+        Principal axes (rows), shape ``(n_components, n_features)``.
+    explained_variance:
+        Variance of the data along each retained component.
+    explained_variance_ratio:
+        Fraction of total variance per retained component.
+    mean:
+        Per-feature mean removed before projection.
+    n_components:
+        Number of retained components.
+    """
+
+    transformed: np.ndarray
+    components: np.ndarray
+    explained_variance: np.ndarray
+    explained_variance_ratio: np.ndarray
+    mean: np.ndarray
+
+    @property
+    def n_components(self):
+        return int(self.components.shape[0])
+
+    @property
+    def total_retained_ratio(self):
+        """Sum of the retained components' variance ratios."""
+        return float(self.explained_variance_ratio.sum())
+
+    def transform(self, x):
+        """Project new rows into the fitted component space."""
+        x = np.asarray(x, dtype=float)
+        return (x - self.mean) @ self.components.T
+
+    def inverse_transform(self, z):
+        """Map component-space rows back to the original feature space."""
+        z = np.asarray(z, dtype=float)
+        return z @ self.components + self.mean
+
+
+def _deterministic_signs(u, vt):
+    """Flip singular vector signs so each component's largest loading is
+    positive (matches scikit-learn's ``svd_flip``)."""
+    max_rows = np.argmax(np.abs(vt), axis=1)
+    signs = np.sign(vt[np.arange(vt.shape[0]), max_rows])
+    signs[signs == 0] = 1.0
+    return u * signs[None, :], vt * signs[:, None]
+
+
+@dataclass
+class PCA:
+    """PCA estimator.
+
+    Exactly one of ``n_components`` / ``variance`` should be set; if both
+    are ``None`` every non-degenerate component is kept.
+
+    Parameters
+    ----------
+    n_components:
+        Fixed number of components to keep.
+    variance:
+        Retained-variance-ratio target in ``(0, 1]``; the smallest number
+        of leading components whose cumulative ratio reaches the target is
+        kept (the paper uses 0.98).
+    """
+
+    n_components: int | None = None
+    variance: float | None = None
+
+    def __post_init__(self):
+        if self.n_components is not None and self.variance is not None:
+            raise ValueError("set n_components or variance, not both")
+        if self.variance is not None and not (0.0 < self.variance <= 1.0):
+            raise ValueError(f"variance must be in (0, 1], got {self.variance}")
+        if self.n_components is not None and self.n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {self.n_components}")
+
+    def fit_transform(self, x):
+        """Fit the model on ``x`` and return a :class:`PCAResult`."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        n, m = x.shape
+        if n < 2:
+            raise ValueError("PCA needs at least two samples")
+        mean = x.mean(axis=0)
+        centred = x - mean
+        u, s, vt = np.linalg.svd(centred, full_matrices=False)
+        u, vt = _deterministic_signs(u, vt)
+
+        # Per-component variance; ddof=1 matches the usual sample variance.
+        var = (s ** 2) / (n - 1)
+        total = var.sum()
+        if total <= 0:
+            # Degenerate (all rows identical): keep one zero component.
+            keep = 1
+            ratio = np.zeros(1)
+        else:
+            ratio = var / total
+            if self.n_components is not None:
+                keep = min(self.n_components, len(s))
+            elif self.variance is not None:
+                cumulative = np.cumsum(ratio)
+                keep = int(np.searchsorted(cumulative, self.variance - 1e-12) + 1)
+                keep = min(keep, len(s))
+            else:
+                keep = len(s)
+
+        transformed = u[:, :keep] * s[:keep]
+        return PCAResult(
+            transformed=transformed,
+            components=vt[:keep],
+            explained_variance=var[:keep],
+            explained_variance_ratio=(
+                ratio[:keep] if total > 0 else np.zeros(keep)
+            ),
+            mean=mean,
+        )
+
+
+def pca_fit_transform(x, variance=None, n_components=None):
+    """Functional shorthand mirroring Eq. 11-12: returns
+    ``(transformed, n_components)`` like the paper's
+    ``<X^T, d> = PCA(X_norm, variance)`` notation, plus the full result.
+
+    Returns
+    -------
+    tuple[numpy.ndarray, int, PCAResult]
+    """
+    result = PCA(n_components=n_components, variance=variance).fit_transform(x)
+    return result.transformed, result.n_components, result

@@ -1,0 +1,133 @@
+"""Normalization and scaling helpers.
+
+Section III-C.1 of the paper is explicit about how PMU counter matrices must
+be normalized before the coverage/spread computations:
+
+* Each counter (feature) is min-max normalized to ``[0, 1]``.
+* When two suites are compared, the min and max are taken *jointly* over the
+  concatenated matrices (Eq. 9-10), so the relative ranges of the raw values
+  are preserved across suites.
+
+Constant features (max == min) normalize to 0.5 by convention: they carry no
+ordering information, and placing them mid-range avoids biasing the
+KS-spread statistic toward either tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_CONSTANT_FILL = 0.5
+
+
+def _as_float_matrix(x, name="x"):
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {x.shape}")
+    if not np.all(np.isfinite(x)):
+        raise ValueError(f"{name} contains non-finite values")
+    return x
+
+
+def minmax_normalize(x, axis=0, bounds=None):
+    """Min-max normalize a matrix to ``[0, 1]`` along ``axis``.
+
+    Parameters
+    ----------
+    x:
+        2-D array of shape ``(n_samples, n_features)``.
+    axis:
+        Axis along which min/max are computed. ``axis=0`` (default)
+        normalizes each feature column independently.
+    bounds:
+        Optional ``(mins, maxs)`` pair overriding the observed extrema --
+        used for joint normalization across suites (Eq. 9).
+
+    Returns
+    -------
+    numpy.ndarray
+        Normalized matrix, same shape as ``x``. Columns that are constant
+        over the chosen axis are filled with 0.5.
+    """
+    x = _as_float_matrix(x)
+    if bounds is None:
+        lo = x.min(axis=axis, keepdims=True)
+        hi = x.max(axis=axis, keepdims=True)
+    else:
+        lo, hi = bounds
+        lo = np.asarray(lo, dtype=float)
+        hi = np.asarray(hi, dtype=float)
+        if axis == 0:
+            lo = lo.reshape(1, -1)
+            hi = hi.reshape(1, -1)
+        else:
+            lo = lo.reshape(-1, 1)
+            hi = hi.reshape(-1, 1)
+        if np.any(hi < lo):
+            raise ValueError("bounds must satisfy max >= min")
+    span = hi - lo
+    constant = span == 0
+    safe_span = np.where(constant, 1.0, span)
+    out = (x - lo) / safe_span
+    out = np.where(np.broadcast_to(constant, out.shape), _CONSTANT_FILL, out)
+    return out
+
+
+def joint_minmax_normalize(*matrices):
+    """Jointly min-max normalize several matrices (Eq. 9-10 of the paper).
+
+    All matrices must share the feature axis (same number of columns). The
+    per-feature min and max are computed over the row-wise concatenation of
+    every matrix, then each matrix is normalized with those shared bounds.
+
+    Returns
+    -------
+    list[numpy.ndarray]
+        The normalized matrices, in input order.
+
+    Notes
+    -----
+    The paper writes the counter matrices as ``m x n`` (events as rows); we
+    follow the numpy/sklearn convention of ``n x m`` (workloads as rows,
+    events as columns) throughout the code base. Eq. 9's column-wise
+    max/min over the concatenation ``(X1 | X2)`` becomes a row-wise
+    concatenation here.
+    """
+    if not matrices:
+        raise ValueError("need at least one matrix")
+    mats = [_as_float_matrix(m, f"matrices[{i}]") for i, m in enumerate(matrices)]
+    n_features = mats[0].shape[1]
+    for i, m in enumerate(mats):
+        if m.shape[1] != n_features:
+            raise ValueError(
+                f"matrices[{i}] has {m.shape[1]} features, expected {n_features}"
+            )
+    stacked = np.vstack(mats)
+    lo = stacked.min(axis=0)
+    hi = stacked.max(axis=0)
+    return [minmax_normalize(m, axis=0, bounds=(lo, hi)) for m in mats]
+
+
+def zscore_normalize(x, axis=0, ddof=0):
+    """Standardize a matrix to zero mean and unit variance along ``axis``.
+
+    Constant columns are mapped to zero. Used before PCA so that counters
+    with large absolute magnitudes (e.g. cpu-cycles) do not dominate the
+    principal components.
+    """
+    x = _as_float_matrix(x)
+    mean = x.mean(axis=axis, keepdims=True)
+    std = x.std(axis=axis, ddof=ddof, keepdims=True)
+    safe_std = np.where(std == 0, 1.0, std)
+    out = (x - mean) / safe_std
+    return np.where(np.broadcast_to(std == 0, out.shape), 0.0, out)
+
+
+def clip_unit_interval(x):
+    """Clip values into ``[0, 1]``.
+
+    Applied after normalizing one suite with bounds derived from another
+    (e.g. scoring a subset against full-suite bounds), where values can
+    land slightly outside the unit interval.
+    """
+    return np.clip(np.asarray(x, dtype=float), 0.0, 1.0)

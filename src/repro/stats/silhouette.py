@@ -1,0 +1,135 @@
+"""Silhouette coefficients (Eq. 1-5 of the paper).
+
+For a point ``p`` in cluster ``C_i``:
+
+* intra-cluster dissimilarity ``eta(p)`` (Eq. 1): mean distance from ``p``
+  to the other members of its own cluster;
+* inter-cluster dissimilarity ``lambda(p)`` (Eq. 2): minimum over other
+  clusters of the mean distance from ``p`` to that cluster's members;
+* silhouette ``S(p) = (lambda - eta) / max(lambda, eta)`` (Eq. 3), defined
+  as 0 when only one cluster exists.
+
+The paper then averages per cluster (Eq. 4) and over clusters (Eq. 5).
+Note this differs from the more common convention of averaging over all
+points directly: Eq. 5 gives every *cluster* equal weight regardless of its
+size. Both variants are provided; the ClusterScore uses the paper's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.distance import pairwise_distances
+
+
+def _validate_labels(x, labels):
+    x = np.asarray(x, dtype=float)
+    labels = np.asarray(labels)
+    if x.ndim != 2:
+        raise ValueError(f"x must be 2-D, got shape {x.shape}")
+    if labels.shape != (x.shape[0],):
+        raise ValueError(
+            f"labels shape {labels.shape} does not match {x.shape[0]} samples"
+        )
+    return x, labels
+
+
+def silhouette_samples(x, labels, precomputed_distances=None):
+    """Per-point silhouette values ``S(p)`` (Eq. 3).
+
+    Parameters
+    ----------
+    x:
+        Data matrix ``(n_samples, n_features)``.
+    labels:
+        Integer cluster assignment per row.
+    precomputed_distances:
+        Optional pairwise distance matrix to reuse across calls (the
+        ClusterScore sweeps many ``k`` values over the same points).
+
+    Returns
+    -------
+    numpy.ndarray
+        Silhouette value per sample in ``[-1, 1]``. Samples in singleton
+        clusters get 0 (their ``eta`` is undefined; Rousseeuw's convention).
+    """
+    x, labels = _validate_labels(x, labels)
+    unique = np.unique(labels)
+    n = x.shape[0]
+    if unique.size <= 1:
+        return np.zeros(n)
+
+    if precomputed_distances is None:
+        dmat = pairwise_distances(x)
+    else:
+        dmat = np.asarray(precomputed_distances, dtype=float)
+        if dmat.shape != (n, n):
+            raise ValueError(
+                f"precomputed distance matrix has shape {dmat.shape}, "
+                f"expected {(n, n)}"
+            )
+
+    # Sum of distances from every point to each cluster, shape (n, k).
+    masks = np.stack([labels == c for c in unique], axis=1).astype(float)
+    sums = dmat @ masks
+    sizes = masks.sum(axis=0)
+
+    own_col = np.searchsorted(unique, labels)
+    own_size = sizes[own_col]
+    s = np.zeros(n)
+
+    non_singleton = own_size > 1
+    eta = np.zeros(n)
+    eta[non_singleton] = (
+        sums[np.arange(n), own_col][non_singleton] / (own_size[non_singleton] - 1)
+    )
+
+    # Mean distance to every *other* cluster; mask own cluster with +inf.
+    means = sums / sizes[None, :]
+    means[np.arange(n), own_col] = np.inf
+    lam = means.min(axis=1)
+
+    denom = np.maximum(lam, eta)
+    valid = non_singleton & (denom > 0)
+    s[valid] = (lam[valid] - eta[valid]) / denom[valid]
+    return s
+
+
+def silhouette_per_cluster(x, labels, precomputed_distances=None):
+    """Mean silhouette per cluster ``S(C_i)`` (Eq. 4).
+
+    Returns
+    -------
+    dict[int, float]
+        Cluster label -> mean member silhouette.
+    """
+    x, labels = _validate_labels(x, labels)
+    values = silhouette_samples(x, labels, precomputed_distances)
+    return {
+        int(c): float(values[labels == c].mean()) for c in np.unique(labels)
+    }
+
+
+def silhouette_score(x, labels, precomputed_distances=None, per_cluster=True):
+    """Aggregate silhouette score.
+
+    Parameters
+    ----------
+    per_cluster:
+        ``True`` (default) follows the paper's Eq. 5 -- the unweighted mean
+        of per-cluster means. ``False`` gives the conventional mean over all
+        samples.
+
+    Returns
+    -------
+    float
+        Score in ``[-1, 1]``; 0 when fewer than two clusters exist.
+    """
+    x, labels = _validate_labels(x, labels)
+    if np.unique(labels).size <= 1:
+        return 0.0
+    if per_cluster:
+        cluster_means = silhouette_per_cluster(x, labels, precomputed_distances)
+        return float(np.mean(list(cluster_means.values())))
+    values = silhouette_samples(x, labels, precomputed_distances)
+    return float(values.mean())

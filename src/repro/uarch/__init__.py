@@ -1,0 +1,77 @@
+"""Trace-driven microarchitecture simulator substrate.
+
+The paper measures its suites on a Xeon E-2186G (Table II) through Linux
+``perf``. This package replaces that hardware with a simulator detailed
+enough to produce every PMU event in Table IV:
+
+* :mod:`repro.uarch.config` -- machine description; :func:`xeon_e2186g`
+  mirrors Table II's geometry.
+* :mod:`repro.uarch.cache` -- set-associative caches (LRU/FIFO/random).
+* :mod:`repro.uarch.hierarchy` -- L1 -> L2 -> LLC composition.
+* :mod:`repro.uarch.tlb` -- dTLB + STLB with page-walk cycle accounting.
+* :mod:`repro.uarch.branch` -- bimodal / gshare / tournament predictors.
+* :mod:`repro.uarch.memory` -- demand paging and page-fault counting.
+* :mod:`repro.uarch.prefetch` -- optional next-line prefetcher.
+* :mod:`repro.uarch.pipeline` -- cycle/stall accounting model.
+* :mod:`repro.uarch.cpu` -- executes workload trace intervals and emits
+  counter samples.
+
+The simulator is *trace driven* and *event exact* (cache/TLB/predictor
+state machines are bit-accurate for the configured geometry) but *timing
+approximate*: cycles are accumulated from event counts and latencies with
+a memory-level-parallelism overlap factor rather than a cycle-by-cycle
+pipeline. The Perspector metrics consume only counter values, so this is
+the right fidelity/runtime trade-off (see DESIGN.md section 5).
+"""
+
+from repro.uarch.config import (
+    CacheConfig,
+    TLBConfig,
+    BranchConfig,
+    MemoryConfig,
+    MachineConfig,
+    xeon_e2186g,
+    small_test_machine,
+)
+from repro.uarch.cache import SetAssociativeCache, CacheStats
+from repro.uarch.hierarchy import CacheHierarchy, HierarchyCounters
+from repro.uarch.tlb import TLB, TwoLevelTLB, TLBCounters
+from repro.uarch.branch import (
+    make_predictor,
+    StaticTakenPredictor,
+    BimodalPredictor,
+    GSharePredictor,
+    TournamentPredictor,
+)
+from repro.uarch.memory import DemandPager
+from repro.uarch.prefetch import NextLinePrefetcher
+from repro.uarch.pipeline import TimingModel, CycleBreakdown
+from repro.uarch.cpu import CPU, CounterSample
+
+__all__ = [
+    "CacheConfig",
+    "TLBConfig",
+    "BranchConfig",
+    "MemoryConfig",
+    "MachineConfig",
+    "xeon_e2186g",
+    "small_test_machine",
+    "SetAssociativeCache",
+    "CacheStats",
+    "CacheHierarchy",
+    "HierarchyCounters",
+    "TLB",
+    "TwoLevelTLB",
+    "TLBCounters",
+    "make_predictor",
+    "StaticTakenPredictor",
+    "BimodalPredictor",
+    "GSharePredictor",
+    "TournamentPredictor",
+    "DemandPager",
+    "NextLinePrefetcher",
+    "TimingModel",
+    "CycleBreakdown",
+    "CPU",
+    "CounterSample",
+]

@@ -1,0 +1,208 @@
+"""Set-associative cache model.
+
+Exact state-machine simulation of one cache level: addresses are split
+into tag / set-index / line-offset, each set holds up to ``associativity``
+tags, and a victim is chosen by the configured replacement policy on a
+fill. Writes are modelled as write-allocate (a store miss fills the line),
+matching the inclusive write-back hierarchy of the Coffee Lake part in
+Table II closely enough for event counting.
+
+The per-set structure is an :class:`collections.OrderedDict` mapping tag
+to a dirty bit: ``move_to_end`` gives O(1) LRU updates, FIFO simply never
+reorders, and random picks an arbitrary resident tag. Dirty lines are
+tracked so evictions count write-back transactions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.uarch.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Running access counters for one cache level."""
+
+    loads: int = 0
+    stores: int = 0
+    load_misses: int = 0
+    store_misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self):
+        return self.loads + self.stores
+
+    @property
+    def misses(self):
+        return self.load_misses + self.store_misses
+
+    @property
+    def miss_rate(self):
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset(self):
+        self.loads = 0
+        self.stores = 0
+        self.load_misses = 0
+        self.store_misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def snapshot(self):
+        """Immutable copy of the current counters."""
+        return CacheStats(
+            loads=self.loads,
+            stores=self.stores,
+            load_misses=self.load_misses,
+            store_misses=self.store_misses,
+            evictions=self.evictions,
+            writebacks=self.writebacks,
+        )
+
+
+class SetAssociativeCache:
+    """One cache level.
+
+    Parameters
+    ----------
+    config:
+        Geometry and policy (:class:`repro.uarch.config.CacheConfig`).
+    rng:
+        Only used by the ``random`` replacement policy.
+    """
+
+    def __init__(self, config: CacheConfig, rng=None):
+        self.config = config
+        self.stats = CacheStats()
+        self._offset_bits = config.line_bytes.bit_length() - 1
+        self._n_sets = config.n_sets
+        self._sets = [OrderedDict() for _ in range(config.n_sets)]
+        self._rng = np.random.default_rng(rng)
+        self._fill_seq = 0
+
+    # -- address helpers -------------------------------------------------
+
+    def line_address(self, addr):
+        """Drop the intra-line offset bits."""
+        return addr >> self._offset_bits
+
+    def set_index(self, addr):
+        """Set index; modulo handles non-power-of-two set counts (e.g. the
+        sliced 12 MB LLC of Table II)."""
+        return self.line_address(addr) % self._n_sets
+
+    def tag(self, addr):
+        return self.line_address(addr) // self._n_sets
+
+    # -- core access path -------------------------------------------------
+
+    def access(self, addr, is_write=False):
+        """Access one byte address. Returns ``True`` on hit.
+
+        A miss allocates the line (write-allocate), evicting per policy
+        when the set is full.
+        """
+        line = self.line_address(int(addr))
+        set_idx, tag = line % self._n_sets, line // self._n_sets
+        ways = self._sets[set_idx]
+
+        if is_write:
+            self.stats.stores += 1
+        else:
+            self.stats.loads += 1
+
+        if tag in ways:
+            if self.config.policy == "lru":
+                ways.move_to_end(tag)
+            if is_write:
+                ways[tag] = True  # mark dirty
+            return True
+
+        if is_write:
+            self.stats.store_misses += 1
+        else:
+            self.stats.load_misses += 1
+        self._fill(ways, tag, dirty=is_write)
+        return False
+
+    def _fill(self, ways, tag, dirty=False):
+        if len(ways) >= self.config.associativity:
+            if self.config.policy == "random":
+                victim_pos = int(self._rng.integers(len(ways)))
+                victim = next(
+                    t for i, t in enumerate(ways) if i == victim_pos
+                )
+                victim_dirty = ways.pop(victim)
+            else:
+                # LRU and FIFO both evict the head: LRU reorders on hits,
+                # FIFO does not, so the head is the right victim for both.
+                _, victim_dirty = ways.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                # Write-back cache: evicting a dirty line costs a
+                # memory-side write transaction.
+                self.stats.writebacks += 1
+        self._fill_seq += 1
+        ways[tag] = dirty
+
+    def access_many(self, addrs, writes=None):
+        """Access a vector of byte addresses in order.
+
+        Parameters
+        ----------
+        addrs:
+            Integer array of byte addresses.
+        writes:
+            Optional boolean array marking stores; all-loads if omitted.
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean hit mask, aligned with ``addrs``.
+        """
+        addrs = np.asarray(addrs)
+        n = addrs.shape[0]
+        if writes is None:
+            writes = np.zeros(n, dtype=bool)
+        else:
+            writes = np.asarray(writes, dtype=bool)
+            if writes.shape[0] != n:
+                raise ValueError(
+                    f"writes length {writes.shape[0]} != addrs length {n}"
+                )
+        hits = np.empty(n, dtype=bool)
+        access = self.access  # local binding for the hot loop
+        addr_list = addrs.tolist()
+        write_list = writes.tolist()
+        for i in range(n):
+            hits[i] = access(addr_list[i], write_list[i])
+        return hits
+
+    # -- introspection -----------------------------------------------------
+
+    def contains(self, addr):
+        """Whether the line holding ``addr`` is currently resident."""
+        line = self.line_address(int(addr))
+        return (line // self._n_sets) in self._sets[line % self._n_sets]
+
+    def resident_lines(self):
+        """Total number of valid lines."""
+        return sum(len(s) for s in self._sets)
+
+    def flush(self):
+        """Invalidate every line (stats are kept)."""
+        for s in self._sets:
+            s.clear()
+
+    def reset(self):
+        """Invalidate and zero the stats."""
+        self.flush()
+        self.stats.reset()

@@ -1,0 +1,111 @@
+"""Cycle and stall accounting.
+
+Feeds the ``cpu-cycles`` and ``cycle_activity.stalls_mem_any`` events of
+Table IV. The model is an event-rate timing model, not a cycle-by-cycle
+pipeline: total cycles are
+
+    base_cpi * instructions                  (useful work)
+  + mispredicts * mispredict_penalty         (front-end flushes)
+  + memory stall cycles                      (below)
+  + walk_cycles                              (page-table walks)
+  + faults * page_fault_cycles               (OS fault handling)
+
+Memory stall cycles charge each miss the latency of the level that
+serviced it (L1 hit latency is hidden by the pipeline), with DRAM
+accesses overlapped by the configured memory-level parallelism:
+
+    l1_misses_served_by_l2 * l2_latency
+  + l2_misses_served_by_llc * llc_latency
+  + llc_misses * dram_latency / mlp
+
+``stalls_mem_any`` is the memory stall + walk component (what the real
+event approximates: cycles with no dispatch due to outstanding memory
+operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.config import MachineConfig
+from repro.uarch.hierarchy import HierarchyCounters
+from repro.uarch.tlb import TLBCounters
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """Per-component cycle accounting for one interval."""
+
+    base_cycles: float
+    branch_penalty_cycles: float
+    l2_service_cycles: float
+    llc_service_cycles: float
+    dram_cycles: float
+    walk_cycles: float
+    fault_cycles: float
+
+    @property
+    def memory_stall_cycles(self):
+        """The ``stalls_mem_any`` approximation."""
+        return (
+            self.l2_service_cycles
+            + self.llc_service_cycles
+            + self.dram_cycles
+            + self.walk_cycles
+        )
+
+    @property
+    def total_cycles(self):
+        return (
+            self.base_cycles
+            + self.branch_penalty_cycles
+            + self.memory_stall_cycles
+            + self.fault_cycles
+        )
+
+
+class TimingModel:
+    """Turns event counts into cycles for one machine configuration."""
+
+    def __init__(self, machine: MachineConfig):
+        self.machine = machine
+
+    def cycles(self, instructions, mispredicts, hierarchy: HierarchyCounters,
+               tlb: TLBCounters, page_faults):
+        """Compute the :class:`CycleBreakdown` for one interval.
+
+        Parameters
+        ----------
+        instructions:
+            Retired instruction count for the interval.
+        mispredicts:
+            Branch mispredictions.
+        hierarchy:
+            Cache-path event deltas.
+        tlb:
+            dTLB event deltas (providing walk cycles).
+        page_faults:
+            Demand-pager faults.
+        """
+        if instructions < 0:
+            raise ValueError("instructions must be non-negative")
+        m = self.machine
+        l1_misses = hierarchy.l1_load_misses + hierarchy.l1_store_misses
+        l2_served = l1_misses - hierarchy.l2_misses
+        llc_served = hierarchy.llc_accesses - hierarchy.llc_misses
+        return CycleBreakdown(
+            base_cycles=m.base_cpi * instructions,
+            branch_penalty_cycles=float(
+                mispredicts * m.branch.mispredict_penalty
+            ),
+            l2_service_cycles=float(max(l2_served, 0) * m.l2.latency_cycles),
+            llc_service_cycles=float(
+                max(llc_served, 0) * m.llc.latency_cycles
+            ),
+            dram_cycles=(
+                hierarchy.llc_misses * m.memory.dram_latency_cycles
+                / m.memory.mlp
+            ),
+            walk_cycles=float(tlb.walk_cycles),
+            fault_cycles=float(page_faults * m.memory.page_fault_cycles),
+        )

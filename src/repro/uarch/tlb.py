@@ -1,0 +1,154 @@
+"""TLB models and page-walk cycle accounting.
+
+The Table IV events this module feeds:
+
+* ``dTLB-loads`` / ``dTLB-stores`` -- every data access consults the dTLB;
+* ``dTLB-load-misses`` / ``dTLB-store-misses`` -- first-level dTLB misses
+  (whether or not the STLB catches them, matching the Linux perf mapping
+  of these events to first-level-miss -> walk-or-STLB events);
+* ``dtlb_walk_pending`` -- cycles spent walking the page table, charged
+  only when the STLB also misses.
+
+The TLB itself is a set-associative cache keyed by virtual page number,
+reusing the same OrderedDict LRU machinery shape as the data caches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.uarch.config import TLBConfig
+
+
+@dataclass
+class TLBCounters:
+    """Batch-level dTLB event deltas."""
+
+    loads: int = 0
+    stores: int = 0
+    load_misses: int = 0
+    store_misses: int = 0
+    stlb_hits: int = 0
+    walks: int = 0
+    walk_cycles: int = 0
+
+    @property
+    def accesses(self):
+        return self.loads + self.stores
+
+    @property
+    def misses(self):
+        return self.load_misses + self.store_misses
+
+
+class TLB:
+    """One TLB level: set-associative, LRU, keyed by virtual page number."""
+
+    def __init__(self, config: TLBConfig):
+        self.config = config
+        self._page_bits = config.page_bytes.bit_length() - 1
+        self._n_sets = config.n_sets
+        self._sets = [OrderedDict() for _ in range(config.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def page_number(self, addr):
+        return addr >> self._page_bits
+
+    def lookup(self, addr):
+        """Translate one byte address; fills on miss. Returns hit flag."""
+        page = self.page_number(int(addr))
+        set_idx, tag = page % self._n_sets, page // self._n_sets
+        ways = self._sets[set_idx]
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(ways) >= self.config.associativity:
+            ways.popitem(last=False)
+        ways[tag] = True
+        return False
+
+    def contains(self, addr):
+        page = self.page_number(int(addr))
+        return (page // self._n_sets) in self._sets[page % self._n_sets]
+
+    def flush(self):
+        for s in self._sets:
+            s.clear()
+
+    def reset(self):
+        self.flush()
+        self.hits = 0
+        self.misses = 0
+
+
+class TwoLevelTLB:
+    """dTLB backed by a shared STLB, with page-walk cycle accounting.
+
+    Parameters
+    ----------
+    dtlb_config, stlb_config:
+        Geometries of the two levels.
+    walk_cycles:
+        Cost of a full table walk charged on a double miss (feeds the
+        ``dtlb_walk_pending`` event).
+    """
+
+    def __init__(self, dtlb_config: TLBConfig, stlb_config: TLBConfig,
+                 walk_cycles: int):
+        if walk_cycles < 0:
+            raise ValueError("walk_cycles must be non-negative")
+        self.dtlb = TLB(dtlb_config)
+        self.stlb = TLB(stlb_config)
+        self.walk_cycles = walk_cycles
+
+    def access_many(self, addrs, writes=None):
+        """Translate a batch of byte addresses in order.
+
+        Returns
+        -------
+        TLBCounters
+            Event deltas for this batch.
+        """
+        addrs = np.asarray(addrs)
+        n = addrs.shape[0]
+        if writes is None:
+            writes = np.zeros(n, dtype=bool)
+        else:
+            writes = np.asarray(writes, dtype=bool)
+            if writes.shape[0] != n:
+                raise ValueError(
+                    f"writes length {writes.shape[0]} != addrs length {n}"
+                )
+        out = TLBCounters()
+        dtlb_lookup = self.dtlb.lookup
+        stlb_lookup = self.stlb.lookup
+        addr_list = addrs.tolist()
+        write_list = writes.tolist()
+        for i in range(n):
+            addr = addr_list[i]
+            if write_list[i]:
+                out.stores += 1
+            else:
+                out.loads += 1
+            if dtlb_lookup(addr):
+                continue
+            if write_list[i]:
+                out.store_misses += 1
+            else:
+                out.load_misses += 1
+            if stlb_lookup(addr):
+                out.stlb_hits += 1
+            else:
+                out.walks += 1
+                out.walk_cycles += self.walk_cycles
+        return out
+
+    def reset(self):
+        self.dtlb.reset()
+        self.stlb.reset()

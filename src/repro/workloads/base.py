@@ -1,0 +1,311 @@
+"""Workload, phase, and suite abstractions.
+
+A :class:`Workload` is a sequence of :class:`Phase` objects. Each phase
+describes, declaratively, how the program behaves during that fraction of
+its execution:
+
+* a weighted mix of address-stream kernels (:class:`KernelSpec`);
+* a store fraction;
+* branch behaviour (model, density, bias);
+* compute intensity (ALU instructions per memory operation).
+
+``Workload.intervals`` materializes the phases into
+:class:`repro.workloads.trace.TraceInterval` batches: intervals are
+assigned to phases contiguously in proportion to phase weights, so a
+two-phase workload genuinely *switches behaviour* partway through its
+run -- which is exactly the structure the TrendScore (Section III-B)
+rewards and aggregate-only prior work ignores (Section II, drawback 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workloads.generators import generate_addresses, generate_branches
+from repro.workloads.trace import TraceInterval
+
+#: Size of the private address region given to each kernel of each phase,
+#: so different kernels (and workloads) do not share pages or lines.
+_REGION_BYTES = 1 << 34
+
+#: Accesses per interleaving chunk when a phase mixes several kernels.
+_CHUNK = 64
+
+
+def _interleave_chunks(parts, rng):
+    """Merge several address streams chunk-by-chunk in random order,
+    preserving each stream's internal order."""
+    chunks = []
+    for part in parts:
+        for start in range(0, part.shape[0], _CHUNK):
+            chunks.append(part[start : start + _CHUNK])
+    order = rng.permutation(len(chunks))
+    return np.concatenate([chunks[i] for i in order])
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One weighted kernel inside a phase.
+
+    Attributes
+    ----------
+    kernel:
+        Name from :data:`repro.workloads.generators.KERNELS`.
+    weight:
+        Relative share of the phase's memory operations.
+    params:
+        Kernel parameters (working-set sizes etc.); ``base`` is assigned
+        automatically.
+    """
+
+    kernel: str
+    weight: float = 1.0
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError(f"kernel weight must be positive, got {self.weight}")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One behavioural phase of a workload.
+
+    Attributes
+    ----------
+    name:
+        Phase label (shows up in trace metadata).
+    weight:
+        Fraction of the workload's execution spent in this phase.
+    kernels:
+        Weighted kernel mix.
+    write_fraction:
+        Probability that a memory operation is a store.
+    branch_model:
+        ``biased`` | ``loop`` | ``random``.
+    branch_params:
+        Parameters for the branch model.
+    branches_per_op:
+        Branch instructions per memory operation.
+    alu_per_op:
+        Extra (non-memory, non-branch) instructions per memory operation.
+    intensity:
+        Scale on the interval's operation budget: 1.0 is nominal; an
+        I/O-bound or sleepy phase may run fewer operations per sampling
+        interval (< 1), a tight kernel more (> 1).
+    """
+
+    name: str
+    weight: float
+    kernels: tuple
+    write_fraction: float = 0.3
+    branch_model: str = "biased"
+    branch_params: dict = field(default_factory=dict)
+    branches_per_op: float = 0.4
+    alu_per_op: float = 3.0
+    intensity: float = 1.0
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError(f"phase weight must be positive, got {self.weight}")
+        if not self.kernels:
+            raise ValueError(f"phase {self.name!r} has no kernels")
+        if not (0.0 <= self.write_fraction <= 1.0):
+            raise ValueError("write_fraction must be in [0, 1]")
+        if self.branches_per_op < 0 or self.alu_per_op < 0:
+            raise ValueError("instruction ratios must be non-negative")
+        if self.intensity <= 0:
+            raise ValueError("intensity must be positive")
+
+
+class Workload:
+    """A phase-structured synthetic workload.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the suite.
+    phases:
+        Ordered phases; weights are normalized internally.
+    region_seed:
+        Deterministic index used to place this workload's address regions;
+        defaults to a hash of the name.
+    """
+
+    def __init__(self, name, phases, region_seed=None):
+        if not name:
+            raise ValueError("workload needs a name")
+        phases = tuple(phases)
+        if not phases:
+            raise ValueError(f"workload {name!r} has no phases")
+        self.name = name
+        self.phases = phases
+        total = sum(p.weight for p in phases)
+        self._weights = [p.weight / total for p in phases]
+        if region_seed is None:
+            import zlib
+
+            region_seed = zlib.crc32(name.encode())
+        self._region_seed = region_seed
+
+    def __repr__(self):
+        return f"Workload({self.name!r}, {len(self.phases)} phases)"
+
+    def phase_schedule(self, n_intervals):
+        """Assign each of ``n_intervals`` intervals to a phase index,
+        contiguously and proportionally to phase weights. Every phase
+        gets at least one interval when ``n_intervals >= len(phases)``."""
+        if n_intervals < 1:
+            raise ValueError("n_intervals must be >= 1")
+        k = len(self.phases)
+        if n_intervals <= k:
+            return [min(i, k - 1) for i in range(n_intervals)]
+        counts = [max(1, round(w * n_intervals)) for w in self._weights]
+        # Trim/grow to exactly n_intervals, adjusting the largest phases.
+        while sum(counts) > n_intervals:
+            counts[int(np.argmax(counts))] -= 1
+        while sum(counts) < n_intervals:
+            counts[int(np.argmax(self._weights))] += 1
+        schedule = []
+        for idx, c in enumerate(counts):
+            schedule.extend([idx] * c)
+        return schedule
+
+    def _kernel_base(self, phase_idx, kernel_idx):
+        """Private address region for one kernel of one phase.
+
+        Kernels keep per-(phase, kernel) regions disjoint within the
+        workload; distinct workloads get disjoint regions via the name
+        hash. All regions are page-aligned.
+        """
+        slot = (self._region_seed % 4096) * 64 + phase_idx * 8 + kernel_idx
+        return slot * _REGION_BYTES
+
+    def intervals(self, n_intervals, ops_per_interval, seed=0,
+                  boost_first=0, boost_factor=1):
+        """Materialize the workload as trace intervals.
+
+        Parameters
+        ----------
+        n_intervals:
+            Number of sampling intervals to produce.
+        ops_per_interval:
+            Nominal memory operations per interval (scaled by each
+            phase's ``intensity``).
+        seed:
+            Trace RNG seed; the same seed reproduces the same trace.
+        boost_first:
+            Number of leading intervals whose operation count is
+            multiplied by ``boost_factor``. Measurement sessions use this
+            for warmup: real runs execute orders of magnitude more
+            operations before any sampling window than a short simulated
+            trace can, so boosted warmup intervals stand in for the
+            missing footprint coverage.
+        boost_factor:
+            Multiplier for the boosted intervals (>= 1).
+
+        Yields
+        ------
+        TraceInterval
+        """
+        if ops_per_interval < 1:
+            raise ValueError("ops_per_interval must be >= 1")
+        if boost_first < 0 or boost_factor < 1:
+            raise ValueError(
+                "boost_first must be >= 0 and boost_factor >= 1"
+            )
+        rng = np.random.default_rng(seed)
+        cursor = {}
+        schedule = self.phase_schedule(n_intervals)
+        for i, phase_idx in enumerate(schedule):
+            phase = self.phases[phase_idx]
+            ops = ops_per_interval * (boost_factor if i < boost_first else 1)
+            n_ops = max(1, int(round(ops * phase.intensity)))
+            yield self._materialize(phase, phase_idx, n_ops, rng, cursor)
+
+    def _materialize(self, phase, phase_idx, n_ops, rng, cursor):
+        weights = np.array([k.weight for k in phase.kernels], dtype=float)
+        weights /= weights.sum()
+        counts = np.floor(weights * n_ops).astype(int)
+        counts[0] += n_ops - counts.sum()
+        parts = []
+        for k_idx, (spec, count) in enumerate(zip(phase.kernels, counts)):
+            if count <= 0:
+                continue
+            params = dict(spec.params)
+            params.setdefault("base", self._kernel_base(phase_idx, k_idx))
+            parts.append(
+                generate_addresses(spec.kernel, int(count), rng, params,
+                                   cursor=cursor)
+            )
+        if not parts:
+            addresses = np.array([], dtype=np.int64)
+        elif len(parts) == 1:
+            addresses = parts[0]
+        else:
+            # Interleave the kernel streams in chunks: accesses mix the
+            # way a loop nest alternates between arrays, but each
+            # kernel's own spatial order (and thus its cache/TLB/prefetch
+            # behaviour) is preserved within a chunk.
+            addresses = _interleave_chunks(parts, rng)
+
+        is_write = rng.uniform(size=addresses.shape[0]) < phase.write_fraction
+        n_branches = int(round(n_ops * phase.branches_per_op))
+        branch_params = dict(phase.branch_params)
+        branch_params.setdefault("site_base", phase_idx * 100_000)
+        sites, taken = generate_branches(
+            phase.branch_model, n_branches, rng, branch_params
+        )
+        n_instructions = int(
+            addresses.shape[0]
+            + n_branches
+            + round(n_ops * phase.alu_per_op)
+        )
+        return TraceInterval(
+            addresses=addresses,
+            is_write=is_write,
+            branch_sites=sites,
+            branch_taken=taken,
+            n_instructions=n_instructions,
+            phase_name=phase.name,
+        )
+
+
+@dataclass(frozen=True)
+class Suite:
+    """A named collection of workloads plus its Table III description."""
+
+    name: str
+    workloads: tuple
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.workloads:
+            raise ValueError(f"suite {self.name!r} has no workloads")
+        names = [w.name for w in self.workloads]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate workload names in suite {self.name!r}")
+
+    def __len__(self):
+        return len(self.workloads)
+
+    def __iter__(self):
+        return iter(self.workloads)
+
+    def workload(self, name):
+        """Look a workload up by name."""
+        for w in self.workloads:
+            if w.name == name:
+                return w
+        raise KeyError(f"no workload {name!r} in suite {self.name!r}")
+
+    def subset(self, names, suffix="subset"):
+        """A new suite restricted to the named workloads (order given by
+        ``names``)."""
+        return Suite(
+            name=f"{self.name}-{suffix}",
+            workloads=tuple(self.workload(n) for n in names),
+            description=self.description,
+        )

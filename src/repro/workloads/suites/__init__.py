@@ -1,0 +1,9 @@
+"""Suite model definitions (one module per Table III suite)."""
+
+from repro.workloads.suites.registry import (
+    available_suites,
+    load_suite,
+    load_all_suites,
+)
+
+__all__ = ["available_suites", "load_suite", "load_all_suites"]

@@ -1,0 +1,127 @@
+"""Nbench suite model.
+
+Nbench [7] (the BYTE benchmark) is a set of ten small single-threaded
+kernels testing integer, floating-point, and memory operation speed.
+Every kernel has a small, largely cache-resident working set and a flat
+execution profile -- they are exactly the "kernels susceptible to
+compiler tuning" the paper contrasts with real applications. The model
+therefore gives each workload a single phase over a small working set;
+the kernels differ in instruction mix but overlap heavily in memory
+behaviour, yielding the moderate clustering Fig. 4 shows.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import KernelSpec, Phase, Suite, Workload
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def _kernel_workload(name, kernels, **kwargs):
+    return Workload(name, (Phase(name=f"{name}_kernel", weight=1.0,
+                                 kernels=tuple(kernels), **kwargs),))
+
+
+def build():
+    """Build the Nbench suite model (10 kernels)."""
+    workloads = (
+        _kernel_workload(
+            "numeric_sort",
+            [KernelSpec("sequential_stream", weight=0.6,
+                        params={"working_set": 192 * KB}),
+             KernelSpec("random_uniform", weight=0.4,
+                        params={"working_set": 192 * KB})],
+            write_fraction=0.45, branch_model="biased",
+            branch_params={"n_sites": 24, "taken_prob": 0.6},
+            branches_per_op=0.5, alu_per_op=2.5,
+        ),
+        _kernel_workload(
+            "string_sort",
+            [KernelSpec("sequential_stream", weight=0.5,
+                        params={"working_set": 320 * KB}),
+             KernelSpec("random_uniform", weight=0.5,
+                        params={"working_set": 320 * KB})],
+            write_fraction=0.5, branch_model="biased",
+            branch_params={"n_sites": 32, "taken_prob": 0.65},
+            branches_per_op=0.6, alu_per_op=2.0,
+        ),
+        _kernel_workload(
+            "bitfield",
+            [KernelSpec("sequential_stream",
+                        params={"working_set": 128 * KB})],
+            write_fraction=0.5, branch_model="loop",
+            branch_params={"body": 12, "n_sites": 6},
+            branches_per_op=0.3, alu_per_op=4.0,
+        ),
+        _kernel_workload(
+            "fp_emulation",
+            [KernelSpec("hot_cold", params={"hot_bytes": 32 * KB,
+                                            "cold_bytes": 256 * KB})],
+            write_fraction=0.3, branch_model="biased",
+            branch_params={"n_sites": 60, "taken_prob": 0.7},
+            branches_per_op=0.7, alu_per_op=6.0,
+        ),
+        _kernel_workload(
+            "fourier",
+            [KernelSpec("sequential_stream",
+                        params={"working_set": 64 * KB})],
+            write_fraction=0.25, branch_model="loop",
+            branch_params={"body": 20, "n_sites": 4},
+            branches_per_op=0.15, alu_per_op=12.0,
+        ),
+        _kernel_workload(
+            "assignment",
+            [KernelSpec("random_uniform", weight=0.7,
+                        params={"working_set": 448 * KB}),
+             KernelSpec("sequential_stream", weight=0.3,
+                        params={"working_set": 448 * KB})],
+            write_fraction=0.4, branch_model="biased",
+            branch_params={"n_sites": 28, "taken_prob": 0.75},
+            branches_per_op=0.45, alu_per_op=2.5,
+        ),
+        _kernel_workload(
+            "idea",
+            [KernelSpec("sequential_stream",
+                        params={"working_set": 96 * KB})],
+            write_fraction=0.5, branch_model="loop",
+            branch_params={"body": 16, "n_sites": 5},
+            branches_per_op=0.2, alu_per_op=7.0,
+        ),
+        _kernel_workload(
+            "huffman",
+            [KernelSpec("hot_cold", params={"hot_bytes": 16 * KB,
+                                            "cold_bytes": 512 * KB})],
+            write_fraction=0.45, branch_model="random",
+            branch_params={"n_sites": 40, "taken_prob": 0.55},
+            branches_per_op=0.8, alu_per_op=2.0,
+        ),
+        _kernel_workload(
+            "neural_net",
+            [KernelSpec("sequential_stream", weight=0.7,
+                        params={"working_set": 256 * KB}),
+             KernelSpec("stencil2d", weight=0.3,
+                        params={"rows": 128, "cols": 128})],
+            write_fraction=0.35, branch_model="loop",
+            branch_params={"body": 24, "n_sites": 6},
+            branches_per_op=0.18, alu_per_op=9.0,
+        ),
+        _kernel_workload(
+            "lu_decomposition",
+            [KernelSpec("stencil2d", weight=0.6,
+                        params={"rows": 256, "cols": 256}),
+             KernelSpec("sequential_stream", weight=0.4,
+                        params={"working_set": 512 * KB})],
+            write_fraction=0.4, branch_model="loop",
+            branch_params={"body": 18, "n_sites": 8},
+            branches_per_op=0.2, alu_per_op=8.0,
+        ),
+    )
+    return Suite(
+        name="nbench",
+        workloads=workloads,
+        description=(
+            "Micro-benchmarks testing the speed of integer, floating-"
+            "point, and memory operations; small cache-resident kernels."
+        ),
+    )

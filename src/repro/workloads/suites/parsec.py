@@ -1,0 +1,324 @@
+"""PARSEC suite model.
+
+PARSEC [2] is a suite of full parallel applications chosen explicitly for
+diversity and realistic multi-phase behaviour. Section IV-A of the paper
+credits PARSEC's top-tier TrendScore to this: real applications move
+through input loading, distinct computation stages, and output phases
+whose counter profiles differ strongly.
+
+Each workload model below is built from the application's published
+characterization (working-set size, dominant access pattern, pipeline
+structure) and has 2-4 genuinely different phases.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import KernelSpec, Phase, Suite, Workload
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def _phase(name, weight, kernels, write_fraction=0.3, branch_model="biased",
+           branch_params=None, branches_per_op=0.4, alu_per_op=3.0,
+           intensity=1.0):
+    return Phase(
+        name=name,
+        weight=weight,
+        kernels=tuple(kernels),
+        write_fraction=write_fraction,
+        branch_model=branch_model,
+        branch_params=branch_params or {},
+        branches_per_op=branches_per_op,
+        alu_per_op=alu_per_op,
+        intensity=intensity,
+    )
+
+
+def _blackscholes():
+    """Option pricing: tiny working set, enormous FP intensity."""
+    return Workload("blackscholes", (
+        _phase("load_options", 0.15,
+               [KernelSpec("sequential_stream",
+                           params={"working_set": 2 * MB})],
+               write_fraction=0.5, branches_per_op=0.1, alu_per_op=1.0),
+        _phase("price", 0.85,
+               [KernelSpec("sequential_stream", weight=0.9,
+                           params={"working_set": 512 * KB}),
+                KernelSpec("random_uniform", weight=0.1,
+                           params={"working_set": 64 * KB})],
+               write_fraction=0.15, branch_model="loop",
+               branch_params={"body": 32, "n_sites": 6},
+               branches_per_op=0.15, alu_per_op=14.0),
+    ))
+
+
+def _bodytrack():
+    """Computer vision: image sweeps then particle filtering."""
+    return Workload("bodytrack", (
+        _phase("decode_frames", 0.2,
+               [KernelSpec("sequential_stream",
+                           params={"working_set": 32 * MB})],
+               write_fraction=0.4, branches_per_op=0.2, alu_per_op=2.0),
+        _phase("edge_maps", 0.4,
+               [KernelSpec("stencil2d",
+                           params={"rows": 1024, "cols": 1024})],
+               write_fraction=0.3, branch_model="loop",
+               branch_params={"body": 12, "n_sites": 10},
+               alu_per_op=5.0),
+        _phase("particle_filter", 0.4,
+               [KernelSpec("random_uniform", weight=0.6,
+                           params={"working_set": 8 * MB}),
+                KernelSpec("hot_cold", weight=0.4,
+                           params={"hot_bytes": 128 * KB,
+                                   "cold_bytes": 16 * MB})],
+               write_fraction=0.25, branch_params={"taken_prob": 0.75},
+               branches_per_op=0.5, alu_per_op=4.0),
+    ))
+
+
+def _canneal():
+    """Cache-hostile simulated annealing over a huge netlist."""
+    return Workload("canneal", (
+        _phase("build_netlist", 0.15,
+               [KernelSpec("sequential_stream",
+                           params={"working_set": 64 * MB})],
+               write_fraction=0.6, branches_per_op=0.2, alu_per_op=1.5),
+        _phase("anneal", 0.85,
+               [KernelSpec("pointer_chase", weight=0.5,
+                           params={"working_set": 48 * MB}),
+                KernelSpec("random_uniform", weight=0.5,
+                           params={"working_set": 64 * MB})],
+               write_fraction=0.3, branch_model="random",
+               branch_params={"taken_prob": 0.5, "n_sites": 64},
+               branches_per_op=0.35, alu_per_op=2.0),
+    ))
+
+
+def _dedup():
+    """Pipelined compression: chunk -> hash -> compress stages."""
+    return Workload("dedup", (
+        _phase("chunk", 0.3,
+               [KernelSpec("sequential_stream",
+                           params={"working_set": 96 * MB})],
+               write_fraction=0.2, branches_per_op=0.25, alu_per_op=2.0),
+        _phase("hash_lookup", 0.35,
+               [KernelSpec("zipfian", weight=0.7,
+                           params={"working_set": 24 * MB, "alpha": 0.9}),
+                KernelSpec("random_uniform", weight=0.3,
+                           params={"working_set": 24 * MB})],
+               write_fraction=0.45, branch_params={"taken_prob": 0.8},
+               branches_per_op=0.5, alu_per_op=3.0),
+        _phase("compress", 0.35,
+               [KernelSpec("sequential_stream", weight=0.8,
+                           params={"working_set": 4 * MB}),
+                KernelSpec("hot_cold", weight=0.2,
+                           params={"hot_bytes": 64 * KB,
+                                   "cold_bytes": 4 * MB})],
+               write_fraction=0.5, branch_model="loop",
+               branch_params={"body": 8, "n_sites": 20},
+               alu_per_op=6.0),
+    ))
+
+
+def _facesim():
+    """Physics simulation of a face mesh: large stencil sweeps."""
+    return Workload("facesim", (
+        _phase("assemble", 0.3,
+               [KernelSpec("gather_scatter",
+                           params={"index_bytes": 16 * MB,
+                                   "data_bytes": 64 * MB})],
+               write_fraction=0.4, branches_per_op=0.3, alu_per_op=4.0),
+        _phase("solve", 0.7,
+               [KernelSpec("stencil2d", weight=0.8,
+                           params={"rows": 4096, "cols": 2048}),
+                KernelSpec("sequential_stream", weight=0.2,
+                           params={"working_set": 32 * MB})],
+               write_fraction=0.35, branch_model="loop",
+               branch_params={"body": 24, "n_sites": 8},
+               branches_per_op=0.2, alu_per_op=8.0),
+    ))
+
+
+def _ferret():
+    """Content-based similarity search: a four-stage pipeline."""
+    return Workload("ferret", (
+        _phase("segment", 0.2,
+               [KernelSpec("stencil2d", params={"rows": 512, "cols": 512})],
+               write_fraction=0.3, alu_per_op=5.0),
+        _phase("extract", 0.25,
+               [KernelSpec("sequential_stream",
+                           params={"working_set": 8 * MB})],
+               write_fraction=0.4, alu_per_op=6.0),
+        _phase("index_query", 0.35,
+               [KernelSpec("zipfian", weight=0.5,
+                           params={"working_set": 32 * MB, "alpha": 1.2}),
+                KernelSpec("pointer_chase", weight=0.5,
+                           params={"working_set": 16 * MB})],
+               write_fraction=0.1, branch_params={"taken_prob": 0.7},
+               branches_per_op=0.55, alu_per_op=2.5),
+        _phase("rank", 0.2,
+               [KernelSpec("random_uniform",
+                           params={"working_set": 2 * MB})],
+               write_fraction=0.2, branch_model="random",
+               branch_params={"n_sites": 32}, alu_per_op=3.5),
+    ))
+
+
+def _fluidanimate():
+    """SPH fluid simulation: grid phases of alternating intensity."""
+    return Workload("fluidanimate", (
+        _phase("rebuild_grid", 0.3,
+               [KernelSpec("random_uniform", weight=0.6,
+                           params={"working_set": 24 * MB}),
+                KernelSpec("sequential_stream", weight=0.4,
+                           params={"working_set": 24 * MB})],
+               write_fraction=0.55, branches_per_op=0.3, alu_per_op=2.0),
+        _phase("compute_forces", 0.5,
+               [KernelSpec("stencil2d",
+                           params={"rows": 2048, "cols": 1536})],
+               write_fraction=0.3, branch_model="loop",
+               branch_params={"body": 27, "n_sites": 6},
+               alu_per_op=9.0),
+        _phase("advance", 0.2,
+               [KernelSpec("sequential_stream",
+                           params={"working_set": 24 * MB})],
+               write_fraction=0.5, branches_per_op=0.1, alu_per_op=3.0),
+    ))
+
+
+def _freqmine():
+    """FP-growth frequent itemset mining: tree building and traversal."""
+    return Workload("freqmine", (
+        _phase("build_fptree", 0.4,
+               [KernelSpec("hot_cold", weight=0.5,
+                           params={"hot_bytes": 256 * KB,
+                                   "cold_bytes": 32 * MB}),
+                KernelSpec("random_uniform", weight=0.5,
+                           params={"working_set": 32 * MB})],
+               write_fraction=0.6, branch_params={"taken_prob": 0.82},
+               branches_per_op=0.5, alu_per_op=2.5),
+        _phase("mine", 0.6,
+               [KernelSpec("pointer_chase",
+                           params={"working_set": 24 * MB})],
+               write_fraction=0.15, branch_params={"taken_prob": 0.72},
+               branches_per_op=0.6, alu_per_op=2.0),
+    ))
+
+
+def _raytrace():
+    """Ray tracing: BVH traversal with incoherent rays."""
+    return Workload("raytrace", (
+        _phase("build_bvh", 0.2,
+               [KernelSpec("sequential_stream", weight=0.5,
+                           params={"working_set": 48 * MB}),
+                KernelSpec("random_uniform", weight=0.5,
+                           params={"working_set": 48 * MB})],
+               write_fraction=0.5, branches_per_op=0.35, alu_per_op=3.0),
+        _phase("trace", 0.8,
+               [KernelSpec("pointer_chase", weight=0.7,
+                           params={"working_set": 40 * MB}),
+                KernelSpec("hot_cold", weight=0.3,
+                           params={"hot_bytes": 512 * KB,
+                                   "cold_bytes": 40 * MB})],
+               write_fraction=0.05, branch_model="random",
+               branch_params={"taken_prob": 0.45, "n_sites": 96},
+               branches_per_op=0.5, alu_per_op=6.0),
+    ))
+
+
+def _streamcluster():
+    """Online clustering: long streaming scans with periodic re-centering."""
+    return Workload("streamcluster", (
+        _phase("stream_points", 0.6,
+               [KernelSpec("sequential_stream",
+                           params={"working_set": 128 * MB})],
+               write_fraction=0.1, branch_model="loop",
+               branch_params={"body": 40, "n_sites": 4},
+               branches_per_op=0.15, alu_per_op=7.0),
+        _phase("recluster", 0.4,
+               [KernelSpec("random_uniform", weight=0.7,
+                           params={"working_set": 16 * MB}),
+                KernelSpec("sequential_stream", weight=0.3,
+                           params={"working_set": 16 * MB})],
+               write_fraction=0.4, branch_params={"taken_prob": 0.78},
+               branches_per_op=0.45, alu_per_op=4.0, intensity=1.3),
+    ))
+
+
+def _swaptions():
+    """Monte-Carlo swaption pricing: pure compute kernel, tiny data."""
+    return Workload("swaptions", (
+        _phase("simulate", 1.0,
+               [KernelSpec("sequential_stream", weight=0.7,
+                           params={"working_set": 256 * KB}),
+                KernelSpec("random_uniform", weight=0.3,
+                           params={"working_set": 64 * KB})],
+               write_fraction=0.25, branch_model="loop",
+               branch_params={"body": 20, "n_sites": 8},
+               branches_per_op=0.2, alu_per_op=16.0),
+    ))
+
+
+def _vips():
+    """Image transformation pipeline: tiled sweeps, stage changes."""
+    return Workload("vips", (
+        _phase("load_tiles", 0.25,
+               [KernelSpec("sequential_stream",
+                           params={"working_set": 64 * MB})],
+               write_fraction=0.45, branches_per_op=0.2, alu_per_op=2.0),
+        _phase("affine_convolve", 0.5,
+               [KernelSpec("stencil2d",
+                           params={"rows": 3072, "cols": 2048})],
+               write_fraction=0.35, branch_model="loop",
+               branch_params={"body": 16, "n_sites": 12},
+               alu_per_op=7.0),
+        _phase("write_out", 0.25,
+               [KernelSpec("sequential_stream",
+                           params={"working_set": 64 * MB})],
+               write_fraction=0.8, branches_per_op=0.1, alu_per_op=1.5),
+    ))
+
+
+def _x264():
+    """Video encoding: motion estimation over a sliding window."""
+    return Workload("x264", (
+        _phase("motion_estimate", 0.5,
+               [KernelSpec("hot_cold", weight=0.6,
+                           params={"hot_bytes": 2 * MB,
+                                   "cold_bytes": 48 * MB}),
+                KernelSpec("sequential_stream", weight=0.4,
+                           params={"working_set": 16 * MB})],
+               write_fraction=0.2, branch_params={"taken_prob": 0.7},
+               branches_per_op=0.55, alu_per_op=5.0),
+        _phase("transform_quant", 0.3,
+               [KernelSpec("sequential_stream",
+                           params={"working_set": 4 * MB})],
+               write_fraction=0.4, branch_model="loop",
+               branch_params={"body": 15, "n_sites": 16},
+               alu_per_op=9.0),
+        _phase("entropy_encode", 0.2,
+               [KernelSpec("hot_cold",
+                           params={"hot_bytes": 64 * KB,
+                                   "cold_bytes": 8 * MB})],
+               write_fraction=0.5, branch_model="random",
+               branch_params={"taken_prob": 0.55, "n_sites": 48},
+               branches_per_op=0.7, alu_per_op=2.5),
+    ))
+
+
+def build():
+    """Build the PARSEC suite model (13 workloads)."""
+    return Suite(
+        name="parsec",
+        workloads=(
+            _blackscholes(), _bodytrack(), _canneal(), _dedup(),
+            _facesim(), _ferret(), _fluidanimate(), _freqmine(),
+            _raytrace(), _streamcluster(), _swaptions(), _vips(), _x264(),
+        ),
+        description=(
+            "Parallel workloads evaluating multi-threading capabilities "
+            "of multiprocessor systems; diverse full applications with "
+            "strong phase behaviour."
+        ),
+    )

@@ -1,0 +1,48 @@
+"""Suite registry: one entry per Table III suite."""
+
+from __future__ import annotations
+
+from repro.workloads.suites import (
+    ligra,
+    lmbench,
+    nbench,
+    parsec,
+    sgxgauge,
+    spec17,
+)
+
+_BUILDERS = {
+    "parsec": parsec.build,
+    "spec17": spec17.build,
+    "ligra": ligra.build,
+    "lmbench": lmbench.build,
+    "nbench": nbench.build,
+    "sgxgauge": sgxgauge.build,
+}
+
+
+def available_suites():
+    """Names of every modelled suite, in Table III order."""
+    return list(_BUILDERS)
+
+
+def load_suite(name):
+    """Build one suite model by name (case-insensitive).
+
+    Returns
+    -------
+    repro.workloads.base.Suite
+    """
+    key = name.lower().replace("'", "").replace("-", "")
+    if key == "spec2017":
+        key = "spec17"
+    if key not in _BUILDERS:
+        raise KeyError(
+            f"unknown suite {name!r}; available: {available_suites()}"
+        )
+    return _BUILDERS[key]()
+
+
+def load_all_suites():
+    """Build every suite model. Returns a name -> Suite dict."""
+    return {name: builder() for name, builder in _BUILDERS.items()}

@@ -1,0 +1,210 @@
+"""SGXGauge suite model (non-SGX versions, as the paper uses).
+
+SGXGauge [31] collects real-world workloads from different domains --
+graph analytics, databases, key-value stores, crypto, ML. Like PARSEC it
+consists of full applications with genuine phase structure, which is why
+the two share the top TrendScore tier in Fig. 3a. Fig. 1 of the paper
+normalizes the LLC-miss trends of five of its members (PageRank,
+HashJoin, BFS, BTree, OpenSSL); those five appear here by name so the
+Fig. 1 experiment can reference them directly.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import KernelSpec, Phase, Suite, Workload
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def _pagerank():
+    return Workload("pagerank", (
+        Phase("load_graph", 0.25,
+              (KernelSpec("sequential_stream",
+                          params={"working_set": 80 * MB}),),
+              write_fraction=0.4, branch_model="loop",
+              branch_params={"body": 20, "n_sites": 8},
+              branches_per_op=0.2, alu_per_op=2.0),
+        Phase("iterate", 0.6,
+              (KernelSpec("gather_scatter", weight=0.7,
+                          params={"index_bytes": 20 * MB,
+                                  "data_bytes": 48 * MB}),
+               KernelSpec("sequential_stream", weight=0.3,
+                          params={"working_set": 24 * MB})),
+              write_fraction=0.35,
+              branch_params={"n_sites": 30, "taken_prob": 0.9},
+              branches_per_op=0.3, alu_per_op=4.0),
+        Phase("converge", 0.15,
+              (KernelSpec("sequential_stream",
+                          params={"working_set": 24 * MB}),),
+              write_fraction=0.2, branches_per_op=0.25, alu_per_op=3.0,
+              intensity=0.7),
+    ))
+
+
+def _hashjoin():
+    return Workload("hashjoin", (
+        Phase("build", 0.4,
+              (KernelSpec("random_uniform",
+                          params={"working_set": 32 * MB}),),
+              write_fraction=0.7,
+              branch_params={"n_sites": 40, "taken_prob": 0.85},
+              branches_per_op=0.35, alu_per_op=2.0),
+        Phase("probe", 0.6,
+              (KernelSpec("random_uniform", weight=0.8,
+                          params={"working_set": 48 * MB}),
+               KernelSpec("sequential_stream", weight=0.2,
+                          params={"working_set": 64 * MB})),
+              write_fraction=0.1,
+              branch_params={"n_sites": 50, "taken_prob": 0.7},
+              branches_per_op=0.45, alu_per_op=1.8, intensity=1.2),
+    ))
+
+
+def _bfs():
+    return Workload("bfs", (
+        Phase("load", 0.2,
+              (KernelSpec("sequential_stream",
+                          params={"working_set": 64 * MB}),),
+              write_fraction=0.4, branches_per_op=0.2, alu_per_op=2.0),
+        Phase("frontier_small", 0.3,
+              (KernelSpec("pointer_chase",
+                          params={"working_set": 8 * MB}),),
+              write_fraction=0.25, branch_model="random",
+              branch_params={"n_sites": 60, "taken_prob": 0.5},
+              branches_per_op=0.5, alu_per_op=1.5, intensity=0.6),
+        Phase("frontier_large", 0.5,
+              (KernelSpec("pointer_chase", weight=0.6,
+                          params={"working_set": 40 * MB}),
+               KernelSpec("gather_scatter", weight=0.4,
+                          params={"index_bytes": 16 * MB,
+                                  "data_bytes": 40 * MB})),
+              write_fraction=0.3, branch_model="random",
+              branch_params={"n_sites": 80, "taken_prob": 0.55},
+              branches_per_op=0.5, alu_per_op=1.5, intensity=1.4),
+    ))
+
+
+def _btree():
+    return Workload("btree", (
+        Phase("bulk_load", 0.3,
+              (KernelSpec("sequential_stream",
+                          params={"working_set": 40 * MB}),),
+              write_fraction=0.75, branch_model="loop",
+              branch_params={"body": 10, "n_sites": 12},
+              branches_per_op=0.3, alu_per_op=2.0),
+        Phase("point_lookups", 0.45,
+              (KernelSpec("zipfian",
+                          params={"working_set": 40 * MB, "alpha": 1.1}),),
+              write_fraction=0.05,
+              branch_params={"n_sites": 70, "taken_prob": 0.68},
+              branches_per_op=0.6, alu_per_op=2.2),
+        Phase("range_scans", 0.25,
+              (KernelSpec("sequential_stream", weight=0.7,
+                          params={"working_set": 40 * MB}),
+               KernelSpec("pointer_chase", weight=0.3,
+                          params={"working_set": 12 * MB})),
+              write_fraction=0.05, branch_model="loop",
+              branch_params={"body": 14, "n_sites": 10},
+              branches_per_op=0.3, alu_per_op=2.5),
+    ))
+
+
+def _openssl():
+    return Workload("openssl", (
+        Phase("key_setup", 0.15,
+              (KernelSpec("random_uniform",
+                          params={"working_set": 256 * KB}),),
+              write_fraction=0.5,
+              branch_params={"n_sites": 45, "taken_prob": 0.8},
+              branches_per_op=0.5, alu_per_op=5.0, intensity=0.8),
+        Phase("cipher_stream", 0.85,
+              (KernelSpec("sequential_stream", weight=0.85,
+                          params={"working_set": 24 * MB}),
+               KernelSpec("hot_cold", weight=0.15,
+                          params={"hot_bytes": 16 * KB,
+                                  "cold_bytes": 128 * KB})),
+              write_fraction=0.5, branch_model="loop",
+              branch_params={"body": 40, "n_sites": 4},
+              branches_per_op=0.08, alu_per_op=11.0, intensity=1.3),
+    ))
+
+
+def _lightgbm():
+    return Workload("lightgbm", (
+        Phase("load_dataset", 0.2,
+              (KernelSpec("sequential_stream",
+                          params={"working_set": 96 * MB}),),
+              write_fraction=0.5, branches_per_op=0.2, alu_per_op=2.0),
+        Phase("histogram", 0.45,
+              (KernelSpec("random_uniform", weight=0.6,
+                          params={"working_set": 24 * MB}),
+               KernelSpec("sequential_stream", weight=0.4,
+                          params={"working_set": 48 * MB})),
+              write_fraction=0.45,
+              branch_params={"n_sites": 35, "taken_prob": 0.82},
+              branches_per_op=0.35, alu_per_op=3.5),
+        Phase("find_splits", 0.35,
+              (KernelSpec("hot_cold",
+                          params={"hot_bytes": 1 * MB,
+                                  "cold_bytes": 24 * MB}),),
+              write_fraction=0.2, branch_model="random",
+              branch_params={"n_sites": 90, "taken_prob": 0.5},
+              branches_per_op=0.6, alu_per_op=4.0),
+    ))
+
+
+def _memcached():
+    return Workload("memcached", (
+        Phase("warm_cache", 0.3,
+              (KernelSpec("random_uniform",
+                          params={"working_set": 56 * MB}),),
+              write_fraction=0.85,
+              branch_params={"n_sites": 55, "taken_prob": 0.8},
+              branches_per_op=0.4, alu_per_op=1.5),
+        Phase("serve", 0.7,
+              (KernelSpec("zipfian", weight=0.9,
+                          params={"working_set": 56 * MB, "alpha": 1.2}),
+               KernelSpec("random_uniform", weight=0.1,
+                          params={"working_set": 56 * MB})),
+              write_fraction=0.15,
+              branch_params={"n_sites": 75, "taken_prob": 0.75},
+              branches_per_op=0.55, alu_per_op=1.8, intensity=1.2),
+    ))
+
+
+def _blockchain():
+    return Workload("blockchain", (
+        Phase("verify_chain", 0.5,
+              (KernelSpec("sequential_stream", weight=0.6,
+                          params={"working_set": 32 * MB}),
+               KernelSpec("hot_cold", weight=0.4,
+                          params={"hot_bytes": 64 * KB,
+                                  "cold_bytes": 1 * MB})),
+              write_fraction=0.2, branch_model="loop",
+              branch_params={"body": 30, "n_sites": 5},
+              branches_per_op=0.12, alu_per_op=13.0),
+        Phase("update_ledger", 0.5,
+              (KernelSpec("pointer_chase", weight=0.5,
+                          params={"working_set": 16 * MB}),
+               KernelSpec("random_uniform", weight=0.5,
+                          params={"working_set": 24 * MB})),
+              write_fraction=0.5,
+              branch_params={"n_sites": 65, "taken_prob": 0.78},
+              branches_per_op=0.45, alu_per_op=2.5),
+    ))
+
+
+def build():
+    """Build the SGXGauge suite model (8 workloads, non-SGX versions)."""
+    return Suite(
+        name="sgxgauge",
+        workloads=(
+            _pagerank(), _hashjoin(), _bfs(), _btree(), _openssl(),
+            _lightgbm(), _memcached(), _blockchain(),
+        ),
+        description=(
+            "Real-world benchmarks from different domains (non-SGX "
+            "versions); full applications with strong phase behaviour."
+        ),
+    )

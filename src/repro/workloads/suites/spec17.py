@@ -1,0 +1,355 @@
+"""SPEC CPU 2017 suite model.
+
+SPEC'17 [1] has 43 benchmarks across four groups (intrate, intspeed,
+fprate, fpspeed); rate and speed variants of the same program share code
+but run different input scales. The model captures:
+
+* per-program behavioural *families* (mcf's pointer chasing, lbm's
+  streaming, exchange2's tiny-footprint branchy recursion, ...), derived
+  from the published SPEC characterizations [15, 16];
+* speed (``_s``) variants as the same family with working sets scaled up
+  (typically ~3-4x, more TLB pressure);
+* mild two-phase structure (setup + main computation) -- SPEC programs do
+  have phases, but flatter ones than PARSEC's pipelined applications,
+  which is why the paper's Fig. 3a ranks SPEC'17 below PARSEC/SGXGauge on
+  TrendScore while its 43 members spread the parameter space well
+  (best SpreadScore, strong TLB-focused coverage in Fig. 3c).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import KernelSpec, Phase, Suite, Workload
+
+KB = 1024
+MB = 1024 * 1024
+
+#: family -> (main kernels factory, branch model, branch params,
+#:            branches_per_op, alu_per_op, write_fraction)
+#: Working sets inside the factories take a scale factor (1 for rate,
+#: larger for speed variants).
+
+
+def _k(kernel, weight, **params):
+    return KernelSpec(kernel, weight=weight, params=params)
+
+
+_FAMILIES = {
+    # --- integer ---------------------------------------------------------
+    "perlbench": dict(
+        kernels=lambda s: (
+            _k("hot_cold", 0.7, hot_bytes=512 * KB,
+               cold_bytes=int(24 * MB * s)),
+            _k("random_uniform", 0.3, working_set=int(16 * MB * s)),
+        ),
+        branch=("biased", {"n_sites": 220, "taken_prob": 0.76}),
+        bpo=0.65, alu=2.5, wf=0.35, intensity=1.0,
+    ),
+    "gcc": dict(
+        kernels=lambda s: (
+            _k("pointer_chase", 0.45, working_set=int(20 * MB * s)),
+            _k("random_uniform", 0.35, working_set=int(28 * MB * s)),
+            _k("sequential_stream", 0.20, working_set=int(8 * MB * s)),
+        ),
+        branch=("random", {"n_sites": 300, "taken_prob": 0.6}),
+        bpo=0.6, alu=2.0, wf=0.4, intensity=1.1,
+    ),
+    "mcf": dict(
+        kernels=lambda s: (
+            _k("pointer_chase", 0.8, working_set=int(56 * MB * s)),
+            _k("random_uniform", 0.2, working_set=int(64 * MB * s)),
+        ),
+        branch=("biased", {"n_sites": 64, "taken_prob": 0.7}),
+        bpo=0.4, alu=1.5, wf=0.25, intensity=1.35,
+    ),
+    "omnetpp": dict(
+        kernels=lambda s: (
+            _k("pointer_chase", 0.6, working_set=int(40 * MB * s)),
+            _k("zipfian", 0.4, working_set=int(32 * MB * s), alpha=1.0),
+        ),
+        branch=("biased", {"n_sites": 150, "taken_prob": 0.72}),
+        bpo=0.55, alu=2.0, wf=0.35, intensity=1.2,
+    ),
+    "xalancbmk": dict(
+        kernels=lambda s: (
+            _k("pointer_chase", 0.5, working_set=int(30 * MB * s)),
+            _k("random_uniform", 0.5, working_set=int(48 * MB * s)),
+        ),
+        branch=("biased", {"n_sites": 180, "taken_prob": 0.8}),
+        bpo=0.6, alu=2.2, wf=0.3, intensity=1.15,
+    ),
+    "x264": dict(
+        kernels=lambda s: (
+            _k("hot_cold", 0.5, hot_bytes=2 * MB,
+               cold_bytes=int(32 * MB * s)),
+            _k("sequential_stream", 0.5, working_set=int(12 * MB * s)),
+        ),
+        branch=("biased", {"n_sites": 90, "taken_prob": 0.7}),
+        bpo=0.5, alu=5.0, wf=0.25, intensity=0.9,
+    ),
+    "deepsjeng": dict(
+        kernels=lambda s: (
+            _k("random_uniform", 0.7, working_set=int(6 * MB * s)),
+            _k("hot_cold", 0.3, hot_bytes=256 * KB,
+               cold_bytes=int(4 * MB * s)),
+        ),
+        branch=("random", {"n_sites": 128, "taken_prob": 0.5}),
+        bpo=0.7, alu=3.0, wf=0.3, intensity=0.8,
+    ),
+    "leela": dict(
+        kernels=lambda s: (
+            _k("pointer_chase", 0.55, working_set=int(3 * MB * s)),
+            _k("random_uniform", 0.45, working_set=int(2 * MB * s)),
+        ),
+        branch=("random", {"n_sites": 96, "taken_prob": 0.55}),
+        bpo=0.65, alu=3.5, wf=0.25, intensity=0.85,
+    ),
+    "exchange2": dict(
+        kernels=lambda s: (
+            _k("sequential_stream", 0.6, working_set=int(96 * KB * s)),
+            _k("random_uniform", 0.4, working_set=int(64 * KB * s)),
+        ),
+        branch=("loop", {"body": 9, "n_sites": 40}),
+        bpo=0.8, alu=4.0, wf=0.3, intensity=0.6,
+    ),
+    "xz": dict(
+        kernels=lambda s: (
+            _k("sequential_stream", 0.5, working_set=int(64 * MB * s)),
+            _k("random_uniform", 0.3, working_set=int(48 * MB * s)),
+            _k("hot_cold", 0.2, hot_bytes=1 * MB,
+               cold_bytes=int(32 * MB * s)),
+        ),
+        branch=("biased", {"n_sites": 110, "taken_prob": 0.68}),
+        bpo=0.5, alu=3.0, wf=0.4, intensity=1.05,
+    ),
+    # --- floating point --------------------------------------------------
+    "bwaves": dict(
+        kernels=lambda s: (
+            _k("stencil2d", 0.8, rows=int(2048 * s), cols=2048),
+            _k("sequential_stream", 0.2, working_set=int(48 * MB * s)),
+        ),
+        branch=("loop", {"body": 30, "n_sites": 6}),
+        bpo=0.12, alu=10.0, wf=0.3, intensity=1.3,
+    ),
+    "cactuBSSN": dict(
+        kernels=lambda s: (
+            _k("stencil2d", 0.9, rows=int(3072 * s), cols=3072),
+            _k("random_uniform", 0.1, working_set=int(16 * MB * s)),
+        ),
+        branch=("loop", {"body": 25, "n_sites": 10}),
+        bpo=0.15, alu=12.0, wf=0.35, intensity=1.25,
+    ),
+    "namd": dict(
+        kernels=lambda s: (
+            _k("gather_scatter", 0.7, index_bytes=int(8 * MB * s),
+               data_bytes=int(24 * MB * s)),
+            _k("sequential_stream", 0.3, working_set=int(8 * MB * s)),
+        ),
+        branch=("loop", {"body": 18, "n_sites": 8}),
+        bpo=0.2, alu=11.0, wf=0.3, intensity=0.95,
+    ),
+    "parest": dict(
+        kernels=lambda s: (
+            _k("gather_scatter", 0.6, index_bytes=int(12 * MB * s),
+               data_bytes=int(36 * MB * s)),
+            _k("stencil2d", 0.4, rows=int(1536 * s), cols=1536),
+        ),
+        branch=("loop", {"body": 22, "n_sites": 12}),
+        bpo=0.18, alu=8.0, wf=0.35, intensity=1.1,
+    ),
+    "povray": dict(
+        kernels=lambda s: (
+            _k("hot_cold", 0.6, hot_bytes=384 * KB,
+               cold_bytes=int(2 * MB * s)),
+            _k("pointer_chase", 0.4, working_set=int(1 * MB * s)),
+        ),
+        branch=("biased", {"n_sites": 130, "taken_prob": 0.65}),
+        bpo=0.55, alu=7.0, wf=0.2, intensity=0.7,
+    ),
+    "lbm": dict(
+        kernels=lambda s: (
+            _k("sequential_stream", 0.95, working_set=int(96 * MB * s)),
+            _k("random_uniform", 0.05, working_set=int(8 * MB * s)),
+        ),
+        branch=("loop", {"body": 50, "n_sites": 3}),
+        bpo=0.05, alu=9.0, wf=0.5, intensity=1.4,
+    ),
+    "wrf": dict(
+        kernels=lambda s: (
+            _k("stencil2d", 0.6, rows=int(1024 * s), cols=2048),
+            _k("sequential_stream", 0.4, working_set=int(40 * MB * s)),
+        ),
+        branch=("loop", {"body": 20, "n_sites": 14}),
+        bpo=0.2, alu=8.5, wf=0.4, intensity=1.05,
+    ),
+    "blender": dict(
+        kernels=lambda s: (
+            _k("random_uniform", 0.5, working_set=int(20 * MB * s)),
+            _k("hot_cold", 0.5, hot_bytes=1 * MB,
+               cold_bytes=int(24 * MB * s)),
+        ),
+        branch=("biased", {"n_sites": 160, "taken_prob": 0.73}),
+        bpo=0.45, alu=6.0, wf=0.3, intensity=0.9,
+    ),
+    "cam4": dict(
+        kernels=lambda s: (
+            _k("stencil2d", 0.5, rows=int(1280 * s), cols=1024),
+            _k("sequential_stream", 0.5, working_set=int(32 * MB * s)),
+        ),
+        branch=("loop", {"body": 16, "n_sites": 18}),
+        bpo=0.25, alu=7.5, wf=0.4, intensity=1.0,
+    ),
+    "pop2": dict(
+        kernels=lambda s: (
+            _k("stencil2d", 0.55, rows=int(1600 * s), cols=1200),
+            _k("gather_scatter", 0.45, index_bytes=int(6 * MB * s),
+               data_bytes=int(28 * MB * s)),
+        ),
+        branch=("loop", {"body": 19, "n_sites": 15}),
+        bpo=0.22, alu=8.0, wf=0.38, intensity=1.1,
+    ),
+    "imagick": dict(
+        kernels=lambda s: (
+            _k("sequential_stream", 0.8, working_set=int(10 * MB * s)),
+            _k("stencil2d", 0.2, rows=int(768 * s), cols=1024),
+        ),
+        branch=("loop", {"body": 28, "n_sites": 7}),
+        bpo=0.15, alu=10.0, wf=0.3, intensity=0.75,
+    ),
+    "nab": dict(
+        kernels=lambda s: (
+            _k("random_uniform", 0.6, working_set=int(5 * MB * s)),
+            _k("sequential_stream", 0.4, working_set=int(4 * MB * s)),
+        ),
+        branch=("loop", {"body": 14, "n_sites": 11}),
+        bpo=0.25, alu=9.5, wf=0.3, intensity=0.8,
+    ),
+    "fotonik3d": dict(
+        kernels=lambda s: (
+            _k("stencil2d", 0.85, rows=int(2560 * s), cols=2048),
+            _k("sequential_stream", 0.15, working_set=int(56 * MB * s)),
+        ),
+        branch=("loop", {"body": 35, "n_sites": 5}),
+        bpo=0.1, alu=9.0, wf=0.45, intensity=1.3,
+    ),
+    "roms": dict(
+        kernels=lambda s: (
+            _k("sequential_stream", 0.55, working_set=int(72 * MB * s)),
+            _k("stencil2d", 0.45, rows=int(1792 * s), cols=1536),
+        ),
+        branch=("loop", {"body": 26, "n_sites": 9}),
+        bpo=0.14, alu=8.5, wf=0.42, intensity=1.2,
+    ),
+}
+
+#: The 43 SPEC CPU2017 benchmarks: (number, family, variant, scale).
+#: Speed variants run much larger inputs (bigger working sets).
+_BENCHMARKS = [
+    # intrate (10)
+    ("500", "perlbench", "r", 1.0), ("502", "gcc", "r", 1.0),
+    ("505", "mcf", "r", 1.0), ("520", "omnetpp", "r", 1.0),
+    ("523", "xalancbmk", "r", 1.0), ("525", "x264", "r", 1.0),
+    ("531", "deepsjeng", "r", 1.0), ("541", "leela", "r", 1.0),
+    ("548", "exchange2", "r", 1.0), ("557", "xz", "r", 1.0),
+    # intspeed (10)
+    ("600", "perlbench", "s", 2.5), ("602", "gcc", "s", 3.0),
+    ("605", "mcf", "s", 3.5), ("620", "omnetpp", "s", 2.0),
+    ("623", "xalancbmk", "s", 2.5), ("625", "x264", "s", 3.0),
+    ("631", "deepsjeng", "s", 4.0), ("641", "leela", "s", 2.0),
+    ("648", "exchange2", "s", 1.5), ("657", "xz", "s", 4.0),
+    # fprate (13)
+    ("503", "bwaves", "r", 1.0), ("507", "cactuBSSN", "r", 1.0),
+    ("508", "namd", "r", 1.0), ("510", "parest", "r", 1.0),
+    ("511", "povray", "r", 1.0), ("519", "lbm", "r", 1.0),
+    ("521", "wrf", "r", 1.0), ("526", "blender", "r", 1.0),
+    ("527", "cam4", "r", 1.0), ("538", "imagick", "r", 1.0),
+    ("544", "nab", "r", 1.0), ("549", "fotonik3d", "r", 1.0),
+    ("554", "roms", "r", 1.0),
+    # fpspeed (10)
+    ("603", "bwaves", "s", 3.0), ("607", "cactuBSSN", "s", 2.5),
+    ("619", "lbm", "s", 4.0), ("621", "wrf", "s", 2.0),
+    ("627", "cam4", "s", 2.5), ("628", "pop2", "s", 1.0),
+    ("638", "imagick", "s", 3.5), ("644", "nab", "s", 2.0),
+    ("649", "fotonik3d", "s", 2.5), ("654", "roms", "s", 3.0),
+]
+
+
+def _twist_kernels(kernels):
+    """Rebalance a kernel mix for the speed variant: the reference inputs
+    shift the hot-loop balance (e.g. gcc_s spends proportionally more
+    time in its pointer-heavy passes than gcc_r), so _r/_s pairs are
+    related but not twins."""
+    specs = list(kernels)
+    if len(specs) == 1:
+        return tuple(specs)
+    twisted = []
+    for i, spec in enumerate(specs):
+        delta = 0.18 if i == 0 else -0.18 / (len(specs) - 1)
+        twisted.append(
+            KernelSpec(spec.kernel, weight=max(spec.weight + delta, 0.05),
+                       params=dict(spec.params))
+        )
+    return tuple(twisted)
+
+
+def _build_workload(number, family, variant, scale):
+    spec = _FAMILIES[family]
+    branch_model, branch_params = spec["branch"]
+    kernels = spec["kernels"](scale)
+    wf, bpo, alu = spec["wf"], spec["bpo"], spec["alu"]
+    setup_weight = 0.15
+    if variant == "s":
+        # Speed runs use much larger reference inputs: setup is a smaller
+        # share of the run, kernel balance shifts, stores and ILP change.
+        kernels = _twist_kernels(kernels)
+        setup_weight = 0.08
+        wf = min(wf + 0.12, 1.0)
+        bpo = bpo * 0.75
+        alu = alu * 1.35
+        branch_params = dict(branch_params)
+        if "taken_prob" in branch_params:
+            branch_params["taken_prob"] = min(
+                branch_params["taken_prob"] + 0.08, 0.98
+            )
+        if "body" in branch_params:
+            branch_params["body"] = branch_params["body"] * 2
+
+    setup = Phase(
+        name="setup",
+        weight=setup_weight,
+        kernels=(
+            KernelSpec("sequential_stream",
+                       params={"working_set": int(16 * MB * scale)}),
+        ),
+        write_fraction=0.55,
+        branch_model="biased",
+        branch_params={"n_sites": 30, "taken_prob": 0.85},
+        branches_per_op=0.25,
+        alu_per_op=2.0,
+    )
+    intensity = spec.get("intensity", 1.0)
+    if variant == "s":
+        intensity *= 1.1
+    main = Phase(
+        name="main",
+        weight=1.0 - setup_weight,
+        kernels=kernels,
+        write_fraction=wf,
+        branch_model=branch_model,
+        branch_params=dict(branch_params),
+        branches_per_op=bpo,
+        alu_per_op=alu,
+        intensity=intensity,
+    )
+    return Workload(name=f"{number}.{family}_{variant}", phases=(setup, main))
+
+
+def build():
+    """Build the SPEC CPU2017 suite model (43 workloads)."""
+    return Suite(
+        name="spec17",
+        workloads=tuple(_build_workload(*b) for b in _BENCHMARKS),
+        description=(
+            "A benchmark suite to stress the CPU and the memory "
+            "subsystem; 43 benchmarks over four groups."
+        ),
+    )

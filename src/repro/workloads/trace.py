@@ -1,0 +1,92 @@
+"""Trace-interval container.
+
+A :class:`TraceInterval` is the unit of exchange between the workload
+models and the CPU simulator: one sampling interval's worth of memory
+accesses and branch outcomes, plus the total instruction count the
+interval represents. The field names form the duck-typed protocol that
+:meth:`repro.uarch.cpu.CPU.execute_interval` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TraceInterval:
+    """One sampling interval of a workload's execution.
+
+    Attributes
+    ----------
+    addresses:
+        Byte addresses of data accesses, in program order.
+    is_write:
+        Store mask aligned with ``addresses``.
+    branch_sites:
+        Branch PC identifiers, in program order.
+    branch_taken:
+        Outcome per branch.
+    n_instructions:
+        Total retired instructions (memory + branch + ALU); must be at
+        least ``len(addresses) + len(branch_sites)``.
+    phase_name:
+        Name of the workload phase this interval belongs to (metadata
+        only; useful for phase-detection validation).
+    """
+
+    addresses: np.ndarray
+    is_write: np.ndarray
+    branch_sites: np.ndarray
+    branch_taken: np.ndarray
+    n_instructions: int
+    phase_name: str = ""
+
+    def __post_init__(self):
+        self.addresses = np.asarray(self.addresses, dtype=np.int64)
+        self.is_write = np.asarray(self.is_write, dtype=bool)
+        self.branch_sites = np.asarray(self.branch_sites, dtype=np.int64)
+        self.branch_taken = np.asarray(self.branch_taken, dtype=bool)
+        if self.addresses.shape != self.is_write.shape:
+            raise ValueError(
+                f"addresses/is_write shape mismatch: "
+                f"{self.addresses.shape} vs {self.is_write.shape}"
+            )
+        if self.branch_sites.shape != self.branch_taken.shape:
+            raise ValueError(
+                f"branch_sites/branch_taken shape mismatch: "
+                f"{self.branch_sites.shape} vs {self.branch_taken.shape}"
+            )
+        if np.any(self.addresses < 0):
+            raise ValueError("addresses must be non-negative")
+        floor = self.n_memory_ops + self.n_branches
+        if self.n_instructions < floor:
+            raise ValueError(
+                f"n_instructions ({self.n_instructions}) below the "
+                f"interval's own operation count ({floor})"
+            )
+
+    @property
+    def n_memory_ops(self):
+        return int(self.addresses.shape[0])
+
+    @property
+    def n_branches(self):
+        return int(self.branch_sites.shape[0])
+
+
+def merge_intervals(parts, phase_name=""):
+    """Concatenate several intervals into one (kernels within a phase are
+    generated separately and merged in program order)."""
+    parts = list(parts)
+    if not parts:
+        raise ValueError("nothing to merge")
+    return TraceInterval(
+        addresses=np.concatenate([p.addresses for p in parts]),
+        is_write=np.concatenate([p.is_write for p in parts]),
+        branch_sites=np.concatenate([p.branch_sites for p in parts]),
+        branch_taken=np.concatenate([p.branch_taken for p in parts]),
+        n_instructions=sum(p.n_instructions for p in parts),
+        phase_name=phase_name or parts[0].phase_name,
+    )

@@ -1,0 +1,134 @@
+"""Tests for the prior-work baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.greedy_subset import GreedyMaxMinSubsetter
+from repro.baselines.pca_hierarchical import (
+    PCAHierarchicalSubsetter,
+    prior_work_clusters,
+)
+from repro.core.matrix import CounterMatrix
+
+
+def blobs_matrix(n_blobs=3, per_blob=4, seed=0, dims=6):
+    rng = np.random.default_rng(seed)
+    centres = rng.uniform(100, 1000, size=(n_blobs, dims))
+    rows = np.vstack([
+        c + rng.normal(scale=2.0, size=(per_blob, dims)) for c in centres
+    ])
+    n = rows.shape[0]
+    return CounterMatrix(
+        workloads=tuple(f"w{i}" for i in range(n)),
+        events=tuple(f"e{j}" for j in range(dims)),
+        values=rows,
+        suite_name="blobs",
+    )
+
+
+class TestPriorWorkClusters:
+    def test_recovers_blob_structure(self):
+        m = blobs_matrix()
+        result = prior_work_clusters(m, n_clusters=3)
+        # Members of each true blob share a label.
+        labels = result.labels
+        for b in range(3):
+            members = labels[b * 4 : (b + 1) * 4]
+            assert np.unique(members).size == 1
+
+    def test_one_representative_per_cluster(self):
+        m = blobs_matrix()
+        result = prior_work_clusters(m, n_clusters=3)
+        assert len(result.representatives) == 3
+        assert len(set(result.representatives)) == 3
+
+    def test_representative_is_cluster_member(self):
+        m = blobs_matrix(seed=2)
+        result = prior_work_clusters(m, n_clusters=3)
+        for c, rep in enumerate(result.representatives):
+            idx = m.workloads.index(rep)
+            assert result.labels[idx] == c
+
+    def test_n_clusters_full(self):
+        m = blobs_matrix()
+        result = prior_work_clusters(m, n_clusters=m.n_workloads)
+        assert len(set(result.representatives)) == m.n_workloads
+
+    def test_scaling_options(self):
+        m = blobs_matrix(seed=3)
+        for scaling in ("zscore", "minmax"):
+            result = prior_work_clusters(m, 3, scaling=scaling)
+            assert len(result.representatives) == 3
+        with pytest.raises(ValueError, match="scaling"):
+            prior_work_clusters(m, 3, scaling="robust")
+
+    def test_validation(self):
+        m = blobs_matrix()
+        with pytest.raises(ValueError, match="n_clusters"):
+            prior_work_clusters(m, 0)
+        with pytest.raises(TypeError, match="CounterMatrix"):
+            prior_work_clusters(np.zeros((5, 3)), 2)
+
+    def test_ward_linkage(self):
+        m = blobs_matrix(seed=4)
+        result = prior_work_clusters(m, 3, linkage="ward")
+        assert len(result.representatives) == 3
+
+
+class TestPCAHierarchicalSubsetter:
+    def test_select_size(self):
+        m = blobs_matrix()
+        sel = PCAHierarchicalSubsetter(subset_size=3).select(m)
+        assert len(sel) == 3
+
+    def test_one_per_blob(self):
+        m = blobs_matrix(seed=5)
+        sel = PCAHierarchicalSubsetter(subset_size=3).select(m)
+        blobs_hit = {m.workloads.index(name) // 4 for name in sel}
+        assert blobs_hit == {0, 1, 2}
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError, match="subset_size"):
+            PCAHierarchicalSubsetter(subset_size=0)
+
+
+class TestGreedyMaxMin:
+    def test_select_size_and_unique(self):
+        m = blobs_matrix()
+        sel = GreedyMaxMinSubsetter(subset_size=5).select(m)
+        assert len(sel) == 5
+        assert len(set(sel)) == 5
+
+    def test_covers_blobs(self):
+        m = blobs_matrix(seed=6)
+        sel = GreedyMaxMinSubsetter(subset_size=3).select(m)
+        blobs_hit = {m.workloads.index(name) // 4 for name in sel}
+        assert blobs_hit == {0, 1, 2}
+
+    def test_deterministic(self):
+        m = blobs_matrix(seed=7)
+        a = GreedyMaxMinSubsetter(4).select(m)
+        b = GreedyMaxMinSubsetter(4).select(m)
+        assert a == b
+
+    def test_oversize_raises(self):
+        m = blobs_matrix()
+        with pytest.raises(ValueError, match="exceeds"):
+            GreedyMaxMinSubsetter(100).select(m)
+
+    def test_needs_counter_matrix(self):
+        with pytest.raises(TypeError):
+            GreedyMaxMinSubsetter(2).select(np.zeros((4, 2)))
+
+    def test_max_min_property(self):
+        # Every later pick maximizes distance to the already-chosen set
+        # at its step (spot-check the second pick).
+        m = blobs_matrix(seed=8)
+        sel = GreedyMaxMinSubsetter(2).select(m)
+        from repro.stats.preprocessing import minmax_normalize
+
+        x = minmax_normalize(m.values)
+        first = m.workloads.index(sel[0])
+        second = m.workloads.index(sel[1])
+        dists = np.linalg.norm(x - x[first], axis=1)
+        assert dists[second] == pytest.approx(dists.max())

@@ -1,0 +1,95 @@
+"""Tests for repro.core.calibrate (suite execution-time equalization)."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibrate import SuiteCalibrator, _imbalance
+from repro.perf.session import PerfSession
+from repro.uarch.config import small_test_machine
+from repro.workloads.base import KernelSpec, Phase, Suite, Workload
+
+MB = 1024 * 1024
+
+
+def unbalanced_suite():
+    """Two workloads whose per-interval operation counts differ 5x."""
+
+    def wl(name, intensity):
+        return Workload(name, (
+            Phase("only", 1.0,
+                  (KernelSpec("random_uniform",
+                              params={"working_set": MB}),),
+                  intensity=intensity, branches_per_op=0.2),
+        ))
+
+    return Suite(name="unbalanced",
+                 workloads=(wl("light", 0.4), wl("heavy", 2.0)))
+
+
+def session():
+    return PerfSession(machine=small_test_machine(), n_intervals=6,
+                       ops_per_interval=300, warmup_intervals=1, seed=3)
+
+
+class TestImbalance:
+    def test_equal_cycles(self):
+        assert _imbalance({"a": 100.0, "b": 100.0}) == pytest.approx(1.0)
+
+    def test_ratio(self):
+        assert _imbalance({"a": 100.0, "b": 400.0}) == pytest.approx(4.0)
+
+    def test_zero_guard(self):
+        assert _imbalance({"a": 0.0, "b": 1.0}) == float("inf")
+
+
+class TestSuiteCalibrator:
+    def test_reduces_imbalance(self):
+        calibrator = SuiteCalibrator(session(), max_iterations=4)
+        result = calibrator.calibrate(unbalanced_suite())
+        assert result.imbalance_before > 2.0
+        assert result.imbalance_after < result.imbalance_before
+        assert result.imbalance_after < 1.8
+
+    def test_multipliers_move_in_right_direction(self):
+        calibrator = SuiteCalibrator(session(), max_iterations=3)
+        result = calibrator.calibrate(unbalanced_suite())
+        assert result.multipliers["light"] > 1.0   # speed up the light one
+        assert result.multipliers["heavy"] < 1.0   # slow down the heavy one
+
+    def test_calibrated_suite_is_new_object(self):
+        suite = unbalanced_suite()
+        result = SuiteCalibrator(session(), max_iterations=2).calibrate(suite)
+        assert result.suite is not suite
+        assert {w.name for w in result.suite} == {w.name for w in suite}
+        # Original phases untouched.
+        assert suite.workload("light").phases[0].intensity == 0.4
+
+    def test_already_balanced_stops_early(self):
+        def wl(name):
+            return Workload(name, (
+                Phase("only", 1.0,
+                      (KernelSpec("random_uniform",
+                                  params={"working_set": MB}),),
+                      branches_per_op=0.2),
+            ))
+
+        suite = Suite(name="balanced", workloads=(wl("x"), wl("y")))
+        result = SuiteCalibrator(session(), max_iterations=5,
+                                 tolerance=1.3).calibrate(suite)
+        assert result.iterations == 1
+        assert result.multipliers == {"x": 1.0, "y": 1.0}
+
+    def test_multiplier_clamp(self):
+        calibrator = SuiteCalibrator(session(), max_iterations=6,
+                                     min_multiplier=0.5, max_multiplier=2.0)
+        result = calibrator.calibrate(unbalanced_suite())
+        for mult in result.multipliers.values():
+            assert 0.5 <= mult <= 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_iterations"):
+            SuiteCalibrator(session(), max_iterations=0)
+        with pytest.raises(ValueError, match="damping"):
+            SuiteCalibrator(session(), damping=0.0)
+        with pytest.raises(ValueError, match="tolerance"):
+            SuiteCalibrator(session(), tolerance=0.5)

@@ -1,0 +1,125 @@
+"""Tests for repro.core.composer (suite composition)."""
+
+import numpy as np
+import pytest
+
+from repro.core.composer import (
+    CompositionResult,
+    SuiteComposer,
+    default_objective,
+    merge_pools,
+)
+from repro.core.matrix import CounterMatrix
+
+
+def pool_matrix(n=16, m=4, seed=0, suite_name="pool"):
+    rng = np.random.default_rng(seed)
+    return CounterMatrix(
+        workloads=tuple(f"w{i}" for i in range(n)),
+        events=tuple(f"e{j}" for j in range(m)),
+        values=rng.uniform(0, 100, size=(n, m)),
+        suite_name=suite_name,
+    )
+
+
+class TestMergePools:
+    def test_prefixes_names(self):
+        a = pool_matrix(n=3, suite_name="alpha")
+        b = pool_matrix(n=2, seed=1, suite_name="beta")
+        merged = merge_pools(a, b)
+        assert merged.n_workloads == 5
+        assert merged.workloads[0] == "alpha/w0"
+        assert merged.workloads[3] == "beta/w0"
+
+    def test_event_mismatch_rejected(self):
+        a = pool_matrix()
+        b = CounterMatrix(workloads=("x",), events=("other",),
+                          values=np.zeros((1, 1)))
+        with pytest.raises(ValueError, match="event set"):
+            merge_pools(a, b)
+
+    def test_values_preserved(self):
+        a = pool_matrix(n=3)
+        merged = merge_pools(a)
+        np.testing.assert_array_equal(merged.values, a.values)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_pools()
+
+
+class TestSuiteComposer:
+    def test_composes_requested_size(self):
+        result = SuiteComposer(suite_size=6, seed=1).compose(pool_matrix())
+        assert len(result.selected) == 6
+        assert len(set(result.selected)) == 6
+        assert result.matrix.n_workloads == 6
+
+    def test_seed_pair_is_most_distant(self):
+        pool = pool_matrix(seed=3)
+        result = SuiteComposer(suite_size=2, seed=0).compose(pool)
+        from repro.stats.distance import pairwise_distances
+        from repro.stats.preprocessing import minmax_normalize
+
+        d = pairwise_distances(minmax_normalize(pool.values))
+        i = pool.workloads.index(result.selected[0])
+        j = pool.workloads.index(result.selected[1])
+        assert d[i, j] == pytest.approx(d.max())
+
+    def test_objective_trace_length(self):
+        result = SuiteComposer(suite_size=5, seed=0).compose(pool_matrix())
+        assert len(result.objective_trace) == 3  # additions after the pair
+
+    def test_composed_beats_random_subset(self):
+        pool = pool_matrix(n=20, seed=7)
+        composed = SuiteComposer(suite_size=8, seed=0).compose(pool)
+        rng = np.random.default_rng(5)
+        from repro.stats.preprocessing import minmax_normalize
+
+        normalized = minmax_normalize(pool.values)
+        random_values = []
+        for _ in range(5):
+            idx = rng.choice(20, size=8, replace=False)
+            trial = CounterMatrix(
+                workloads=tuple(pool.workloads[i] for i in idx),
+                events=pool.events,
+                values=normalized[idx],
+                suite_name="r",
+            )
+            random_values.append(default_objective(trial, 0))
+        assert composed.final_objective >= np.mean(random_values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="suite_size"):
+            SuiteComposer(suite_size=1)
+        with pytest.raises(TypeError, match="CounterMatrix"):
+            SuiteComposer(suite_size=3).compose(np.zeros((5, 2)))
+        with pytest.raises(ValueError, match="exceeds"):
+            SuiteComposer(suite_size=50).compose(pool_matrix())
+
+    def test_custom_objective(self):
+        # Maximize the first event's mean: the composer must pick the
+        # rows with the largest e0 values (after the distance-seeded pair).
+        pool = pool_matrix(n=10, seed=2)
+
+        def objective(matrix, seed):
+            return float(matrix.values[:, 0].mean())
+
+        result = SuiteComposer(suite_size=5, objective=objective,
+                               seed=0).compose(pool)
+        chosen_idx = [pool.workloads.index(w) for w in result.selected]
+        from repro.stats.preprocessing import minmax_normalize
+
+        normalized = minmax_normalize(pool.values)
+        chosen_e0 = sorted(normalized[chosen_idx, 0])[:3]
+        others = np.sort(
+            np.delete(normalized[:, 0], chosen_idx)
+        )
+        # Greedy additions (3 of them) all beat the best unchosen row.
+        assert min(chosen_e0) >= 0 and len(others) == 5
+
+    def test_deterministic(self):
+        pool = pool_matrix(seed=9)
+        a = SuiteComposer(suite_size=5, seed=2).compose(pool)
+        b = SuiteComposer(suite_size=5, seed=2).compose(pool)
+        assert a.selected == b.selected

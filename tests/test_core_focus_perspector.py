@@ -1,0 +1,194 @@
+"""Tests for EventFocus, Perspector facade, and reports."""
+
+import numpy as np
+import pytest
+
+from repro.core.focus import EventFocus, apply_focus
+from repro.core.matrix import CounterMatrix
+from repro.core.perspector import Perspector, PerspectorConfig
+from repro.core.report import SCORE_POLARITY, SuiteComparison, SuiteScorecard
+from repro.perf.events import TABLE_IV_EVENTS
+from repro.perf.session import PerfSession
+from repro.uarch.config import small_test_machine
+from repro.workloads import load_suite
+
+
+def full_matrix(seed=0, suite="s", with_series=True):
+    rng = np.random.default_rng(seed)
+    n = 6
+    events = TABLE_IV_EVENTS
+    values = rng.uniform(0, 1000, size=(n, len(events)))
+    series = {}
+    if with_series:
+        series = {
+            e: [rng.uniform(0, 100, size=12) for _ in range(n)]
+            for e in events
+        }
+    return CounterMatrix(
+        workloads=tuple(f"w{i}" for i in range(n)),
+        events=events,
+        values=values,
+        series=series,
+        suite_name=suite,
+    )
+
+
+class TestEventFocus:
+    def test_parse_variants(self):
+        assert EventFocus.parse("llc") is EventFocus.LLC
+        assert EventFocus.parse("LLC") is EventFocus.LLC
+        assert EventFocus.parse(EventFocus.TLB) is EventFocus.TLB
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError, match="unknown focus"):
+            EventFocus.parse("dram")
+
+    def test_apply_focus_llc(self):
+        m = full_matrix()
+        sub = apply_focus(m, "llc")
+        assert set(sub.events) == {
+            "LLC-loads", "LLC-stores", "LLC-load-misses", "LLC-store-misses"
+        }
+
+    def test_apply_focus_all_is_identity(self):
+        m = full_matrix()
+        sub = apply_focus(m, EventFocus.ALL)
+        assert sub.events == m.events
+
+    def test_apply_focus_requires_named_matrix(self):
+        with pytest.raises(TypeError, match="CounterMatrix"):
+            apply_focus(np.zeros((3, 3)), "llc")
+
+    def test_apply_focus_missing_events(self):
+        m = full_matrix().select_events(("cpu-cycles", "page-faults"))
+        with pytest.raises(ValueError, match="none of the"):
+            apply_focus(m, "llc")
+
+
+class TestScorecardAndComparison:
+    def _card(self, name, **scores):
+        defaults = dict(cluster=0.3, trend=100.0, coverage=0.1, spread=0.4)
+        defaults.update(scores)
+        return SuiteScorecard(suite_name=name, focus="all", **defaults)
+
+    def test_as_dict_roundtrip(self):
+        card = self._card("a")
+        d = card.as_dict()
+        assert d["suite"] == "a"
+        assert d["cluster"] == 0.3
+
+    def test_score_lookup(self):
+        card = self._card("a", trend=42.0)
+        assert card.score("trend") == 42.0
+        with pytest.raises(KeyError, match="unknown score"):
+            card.score("latency")
+
+    def test_polarity_best(self):
+        cmp = SuiteComparison(
+            scorecards=(
+                self._card("lo_cluster", cluster=0.1),
+                self._card("hi_cluster", cluster=0.9),
+            ),
+            focus="all",
+        )
+        assert cmp.best("cluster") == "lo_cluster"  # lower is better
+        assert cmp.best("trend") == "lo_cluster"  # tie -> first
+
+    def test_ranking_order(self):
+        cmp = SuiteComparison(
+            scorecards=(
+                self._card("a", coverage=0.1),
+                self._card("b", coverage=0.5),
+                self._card("c", coverage=0.3),
+            ),
+            focus="all",
+        )
+        assert cmp.ranking("coverage") == ["b", "c", "a"]
+
+    def test_table_renders(self):
+        cmp = SuiteComparison(scorecards=(self._card("a"),), focus="llc")
+        text = cmp.table()
+        assert "focus = llc" in text
+        assert "a" in text
+
+    def test_all_scores_have_polarity(self):
+        assert set(SCORE_POLARITY) == {"cluster", "trend", "coverage",
+                                       "spread"}
+
+    def test_empty_comparison_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SuiteComparison(scorecards=(), focus="all")
+
+
+class TestPerspector:
+    @pytest.fixture(scope="class")
+    def perspector(self):
+        session = PerfSession(
+            machine=small_test_machine(), n_intervals=8,
+            ops_per_interval=250, warmup_intervals=1, seed=2,
+        )
+        return Perspector(session=session, seed=1)
+
+    def test_score_suite_end_to_end(self, perspector):
+        card = perspector.score(load_suite("nbench"))
+        assert card.suite_name == "nbench"
+        assert np.isfinite(card.cluster)
+        assert np.isfinite(card.trend)
+        assert card.coverage > 0
+        assert 0 <= card.spread <= 1
+
+    def test_score_matrix_without_series_nan_trend(self, perspector):
+        m = full_matrix(with_series=False)
+        card = perspector.score(m)
+        assert np.isnan(card.trend)
+        assert np.isfinite(card.cluster)
+
+    def test_score_with_focus(self, perspector):
+        m = full_matrix()
+        card = perspector.score(m, focus="tlb")
+        assert card.focus == "tlb"
+        # Trend details restricted to TLB events.
+        assert set(card.details["trend"].per_event) <= set(
+            EventFocus.TLB.events
+        )
+
+    def test_compare_requires_two(self, perspector):
+        with pytest.raises(ValueError, match="at least two"):
+            perspector.compare(full_matrix())
+
+    def test_compare_joint_normalization_changes_coverage(self, perspector):
+        a = full_matrix(seed=1, suite="small")
+        b = CounterMatrix(
+            workloads=a.workloads, events=a.events, values=a.values * 50,
+            series=a.series, suite_name="big",
+        )
+        cmp = perspector.compare(a, b)
+        small = next(c for c in cmp.scorecards if c.suite_name == "small")
+        big = next(c for c in cmp.scorecards if c.suite_name == "big")
+        assert big.coverage > small.coverage
+        # In isolation the two have identical coverage (pure rescale).
+        assert perspector.score(a).coverage == pytest.approx(
+            perspector.score(b).coverage
+        )
+
+    def test_compare_event_mismatch_rejected(self, perspector):
+        a = full_matrix(seed=1)
+        b = full_matrix(seed=2).select_events(TABLE_IV_EVENTS[:5])
+        with pytest.raises(ValueError):
+            perspector.compare(a, b)
+
+    def test_config_defaults(self):
+        cfg = PerspectorConfig()
+        assert cfg.pca_variance == 0.98
+        assert cfg.spread_axis == "workloads"
+
+    def test_seed_shorthand(self):
+        p = Perspector(seed=99)
+        assert p.config.seed == 99
+
+    def test_deterministic_scoring(self, perspector):
+        m = full_matrix(seed=5)
+        a = perspector.score(m)
+        b = perspector.score(m)
+        assert a.cluster == b.cluster
+        assert a.trend == b.trend

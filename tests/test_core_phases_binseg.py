@@ -1,0 +1,99 @@
+"""Tests for the binary-segmentation phase detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.phases import (
+    boundary_recall,
+    detect_phases,
+    detect_phases_binseg,
+)
+
+
+def steps(levels, seg=10, noise=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.concatenate([
+        np.full(seg, lvl) + rng.normal(scale=noise, size=seg)
+        for lvl in levels
+    ])
+
+
+class TestBinseg:
+    def test_single_step(self):
+        result = detect_phases_binseg({"e": steps([10, 200])})
+        assert result.n_phases == 2
+        assert abs(result.boundaries[0] - 10) <= 1
+
+    def test_three_phases(self):
+        result = detect_phases_binseg({"e": steps([10, 200, 50], seg=12)})
+        assert result.n_phases == 3
+
+    def test_flat_stays_single(self):
+        result = detect_phases_binseg({"e": steps([100.0], seg=30)})
+        assert result.n_phases == 1
+
+    def test_gradual_ramp_detected(self):
+        # A slow ramp: variance-reduction splitting catches it.
+        ramp = np.concatenate([np.full(12, 10.0),
+                               np.linspace(10, 300, 12),
+                               np.full(12, 300.0)])
+        result = detect_phases_binseg({"e": ramp}, max_phases=4)
+        assert result.n_phases >= 2
+
+    def test_max_phases_cap(self):
+        series = steps([1, 50, 120, 300, 500], seg=8)
+        result = detect_phases_binseg({"e": series}, max_phases=3)
+        assert result.n_phases <= 3
+
+    def test_min_segment_respected(self):
+        result = detect_phases_binseg({"e": steps([10, 500], seg=10)},
+                                      min_segment=4)
+        for seg in result.segments:
+            assert seg.length >= 4
+
+    def test_segments_partition(self):
+        s = steps([10, 100, 400], seg=9)
+        result = detect_phases_binseg({"e": s})
+        assert result.segments[0].start == 0
+        assert result.segments[-1].end == len(s)
+        for a, b in zip(result.segments, result.segments[1:]):
+            assert a.end == b.start
+
+    def test_multi_event_agreement(self):
+        a = steps([10, 200], seed=1)
+        b = steps([500, 20], seed=2)
+        result = detect_phases_binseg({"a": a, "b": b})
+        assert result.n_phases == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_phases"):
+            detect_phases_binseg({"e": np.zeros(10)}, max_phases=0)
+        with pytest.raises(ValueError, match="min_segment"):
+            detect_phases_binseg({"e": np.zeros(10)}, min_segment=0)
+        with pytest.raises(ValueError, match="lengths"):
+            detect_phases_binseg({"a": np.zeros(5), "b": np.zeros(6)})
+        with pytest.raises(ValueError, match="no series"):
+            detect_phases_binseg({})
+
+    def test_agrees_with_window_detector_on_clean_steps(self):
+        s = steps([10, 300], seg=12, noise=0.2, seed=3)
+        window = detect_phases({"e": s}, window=3, threshold=0.8)
+        binseg = detect_phases_binseg({"e": s})
+        assert boundary_recall(binseg.boundaries, window.boundaries,
+                               tolerance=1) == 1.0
+
+    def test_on_simulated_workload(self):
+        from repro.core.phases import true_boundaries_from_intervals
+        from repro.perf.events import samples_to_series
+        from repro.uarch.config import small_test_machine
+        from repro.uarch.cpu import CPU
+        from repro.workloads import load_suite
+
+        w = load_suite("sgxgauge").workload("hashjoin")
+        intervals = list(w.intervals(20, 400, seed=3))
+        truth = true_boundaries_from_intervals(intervals)
+        cpu = CPU(small_test_machine(), seed=3)
+        samples = [cpu.execute_interval(iv) for iv in intervals]
+        result = detect_phases_binseg(samples_to_series(samples),
+                                      max_phases=4)
+        assert boundary_recall(result.boundaries, truth, tolerance=2) >= 0.5

@@ -1,0 +1,79 @@
+"""Tests for the report export/rendering additions."""
+
+import csv
+import io
+
+import pytest
+
+from repro.core.report import SuiteComparison, SuiteScorecard
+
+
+def card(name, **scores):
+    defaults = dict(cluster=0.3, trend=100.0, coverage=0.1, spread=0.4)
+    defaults.update(scores)
+    return SuiteScorecard(suite_name=name, focus="all", **defaults)
+
+
+@pytest.fixture
+def comparison():
+    return SuiteComparison(
+        scorecards=(
+            card("alpha", coverage=0.5),
+            card("beta", coverage=0.1),
+            card("gamma", coverage=0.3),
+        ),
+        focus="all",
+    )
+
+
+class TestCsvExport:
+    def test_roundtrip_rows(self, comparison):
+        text = comparison.to_csv()
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 3
+        assert rows[0]["suite"] == "alpha"
+        assert float(rows[0]["coverage"]) == 0.5
+
+    def test_as_rows(self, comparison):
+        rows = comparison.as_rows()
+        assert {r["suite"] for r in rows} == {"alpha", "beta", "gamma"}
+        assert all(r["focus"] == "all" for r in rows)
+
+
+class TestBars:
+    def test_bar_lengths_proportional(self, comparison):
+        text = comparison.bars("coverage", width=20)
+        lines = text.splitlines()[1:]
+        lengths = {
+            line.split("|")[0].strip(): line.count("#") for line in lines
+        }
+        assert lengths["alpha"] == 20          # peak fills the width
+        assert 2 <= lengths["beta"] <= 6       # 0.1 / 0.5 of the width
+        assert lengths["alpha"] > lengths["gamma"] > lengths["beta"]
+
+    def test_best_marker_respects_polarity(self, comparison):
+        coverage = comparison.bars("coverage")
+        assert "alpha" in [
+            line.split("|")[0].strip() for line in coverage.splitlines()
+            if "<- best" in line
+        ]
+        # Lower-is-better score: the smallest cluster wins.
+        cmp2 = SuiteComparison(
+            scorecards=(card("a", cluster=0.9), card("b", cluster=0.1)),
+            focus="all",
+        )
+        cluster = cmp2.bars("cluster")
+        best_lines = [l for l in cluster.splitlines() if "<- best" in l]
+        assert len(best_lines) == 1 and "b" in best_lines[0]
+
+    def test_unknown_score_raises(self, comparison):
+        with pytest.raises(KeyError):
+            comparison.bars("latency")
+
+    def test_zero_scores_no_crash(self):
+        cmp0 = SuiteComparison(
+            scorecards=(card("z", cluster=0.0, trend=0.0, coverage=0.0,
+                             spread=0.0),),
+            focus="all",
+        )
+        assert "z" in cmp0.bars("trend")

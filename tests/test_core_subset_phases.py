@@ -1,0 +1,199 @@
+"""Tests for LHS subset generation (Section IV-C) and phase detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import CounterMatrix
+from repro.core.phases import (
+    boundary_recall,
+    detect_phases,
+    true_boundaries_from_intervals,
+)
+from repro.core.subset import (
+    LHSSubsetGenerator,
+    random_subset_report,
+)
+
+
+def grid_matrix(n=20, m=5, seed=0, with_series=False):
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(0, 1000, size=(n, m))
+    series = {}
+    events = tuple(f"e{j}" for j in range(m))
+    if with_series:
+        series = {
+            e: [rng.uniform(0, 50, size=10) for _ in range(n)]
+            for e in events
+        }
+    return CounterMatrix(
+        workloads=tuple(f"w{i}" for i in range(n)),
+        events=events,
+        values=values,
+        series=series,
+        suite_name="g",
+    )
+
+
+class TestLHSSubset:
+    def test_select_size_and_uniqueness(self):
+        m = grid_matrix()
+        gen = LHSSubsetGenerator(subset_size=8, seed=1)
+        selected = gen.select(m)
+        assert len(selected) == 8
+        assert len(set(selected)) == 8
+        assert set(selected) <= set(m.workloads)
+
+    def test_full_size_returns_everything(self):
+        m = grid_matrix(n=6)
+        gen = LHSSubsetGenerator(subset_size=6)
+        assert set(gen.select(m)) == set(m.workloads)
+
+    def test_oversize_raises(self):
+        m = grid_matrix(n=5)
+        with pytest.raises(ValueError, match="exceeds"):
+            LHSSubsetGenerator(subset_size=9).select(m)
+
+    def test_bad_size_raises(self):
+        with pytest.raises(ValueError, match="subset_size"):
+            LHSSubsetGenerator(subset_size=0)
+
+    def test_needs_counter_matrix(self):
+        with pytest.raises(TypeError, match="CounterMatrix"):
+            LHSSubsetGenerator(subset_size=2).select(np.zeros((5, 2)))
+
+    def test_deterministic_under_seed(self):
+        m = grid_matrix(seed=3)
+        a = LHSSubsetGenerator(subset_size=6, seed=7).select(m)
+        b = LHSSubsetGenerator(subset_size=6, seed=7).select(m)
+        assert a == b
+
+    def test_subset_spans_extremes(self):
+        # A workload far outside the pack should be picked by a
+        # space-filling design more often than not; check coverage of the
+        # selected subset is a large share of the full suite's.
+        from repro.core.coverage_score import coverage_score
+
+        m = grid_matrix(n=24, seed=5)
+        gen = LHSSubsetGenerator(subset_size=8, seed=2)
+        selected = gen.select(m)
+        sub = m.select_workloads(selected)
+        full_cov = coverage_score(m).value
+        sub_cov = coverage_score(sub).value
+        assert sub_cov > 0.4 * full_cov
+
+    def test_report_structure(self):
+        m = grid_matrix(with_series=True)
+        report = LHSSubsetGenerator(subset_size=8, seed=1).report(m)
+        assert len(report.selected) == 8
+        assert set(report.full_scores) == {"cluster", "coverage", "spread",
+                                           "trend"}
+        assert report.mean_deviation_pct >= 0
+        for dev in report.deviations.values():
+            assert dev >= 0
+
+    def test_report_small_deviation_on_uniform_cloud(self):
+        # A homogeneous cloud: any space-filling subset scores like the
+        # full suite; deviation should be modest.
+        m = grid_matrix(n=40, seed=11)
+        report = LHSSubsetGenerator(subset_size=12, seed=3).report(m)
+        assert report.mean_deviation_pct < 60
+
+    def test_str_renders(self):
+        m = grid_matrix(with_series=True)
+        report = LHSSubsetGenerator(subset_size=5, seed=1).report(m)
+        text = str(report)
+        assert "subset:" in text and "mean deviation" in text
+
+    def test_random_subset_baseline(self):
+        m = grid_matrix(with_series=True)
+        report = random_subset_report(m, subset_size=8, seed=4)
+        assert len(report.selected) == 8
+        assert report.mean_deviation_pct >= 0
+
+
+class TestPhaseDetection:
+    def _step_series(self, levels, seg=10, noise=0.5, seed=0):
+        rng = np.random.default_rng(seed)
+        parts = [np.full(seg, lvl) + rng.normal(scale=noise, size=seg)
+                 for lvl in levels]
+        return np.concatenate(parts)
+
+    def test_detects_single_step(self):
+        s = self._step_series([10.0, 100.0])
+        result = detect_phases({"e": s}, window=3, threshold=0.8)
+        assert result.n_phases == 2
+        assert abs(result.boundaries[0] - 10) <= 2
+
+    def test_flat_series_one_phase(self):
+        s = self._step_series([50.0])
+        result = detect_phases({"e": s}, threshold=0.8)
+        assert result.n_phases == 1
+        assert result.boundaries == ()
+
+    def test_multiple_events_agree(self):
+        a = self._step_series([10, 200], seed=1)
+        b = self._step_series([500, 20], seed=2)
+        result = detect_phases({"a": a, "b": b}, threshold=0.8)
+        assert result.n_phases == 2
+
+    def test_three_phases(self):
+        s = self._step_series([10, 200, 50], seg=12)
+        result = detect_phases({"e": s}, window=3, threshold=0.8,
+                               min_gap=4)
+        assert result.n_phases == 3
+
+    def test_segments_partition_run(self):
+        s = self._step_series([10, 100, 400], seg=8)
+        result = detect_phases({"e": s}, threshold=0.6)
+        assert result.segments[0].start == 0
+        assert result.segments[-1].end == len(s)
+        for a, b in zip(result.segments, result.segments[1:]):
+            assert a.end == b.start
+
+    def test_short_series_single_segment(self):
+        result = detect_phases({"e": np.array([1.0, 2.0, 3.0])}, window=3)
+        assert result.n_phases == 1
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            detect_phases({"a": np.zeros(5), "b": np.zeros(6)})
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            detect_phases({"e": np.zeros(10)}, window=0)
+        with pytest.raises(ValueError, match="min_gap"):
+            detect_phases({"e": np.zeros(10)}, min_gap=0)
+        with pytest.raises(ValueError, match="no series"):
+            detect_phases({})
+
+    def test_boundary_recall(self):
+        assert boundary_recall((10, 20), (10, 21), tolerance=1) == 1.0
+        assert boundary_recall((10,), (10, 30), tolerance=1) == 0.5
+        assert boundary_recall((), (), tolerance=1) == 1.0
+
+    def test_detection_on_simulated_workload(self):
+        """End-to-end: ground-truth phase changes of a two-phase workload
+        are recoverable from the simulated counters."""
+        from repro.perf.events import samples_to_series
+        from repro.uarch.config import small_test_machine
+        from repro.uarch.cpu import CPU
+        from repro.workloads.base import KernelSpec, Phase, Workload
+
+        MB = 1024 * 1024
+        w = Workload("two_phase", (
+            Phase("quiet", 0.5,
+                  (KernelSpec("sequential_stream",
+                              params={"working_set": 64 * 1024}),),
+                  branches_per_op=0.1),
+            Phase("storm", 0.5,
+                  (KernelSpec("random_uniform",
+                              params={"working_set": 32 * MB}),),
+                  branches_per_op=0.6),
+        ))
+        intervals = list(w.intervals(20, 400, seed=0))
+        truth = true_boundaries_from_intervals(intervals)
+        cpu = CPU(small_test_machine(), seed=0)
+        samples = [cpu.execute_interval(iv) for iv in intervals]
+        series = samples_to_series(samples)
+        result = detect_phases(series, window=3, threshold=0.8)
+        assert boundary_recall(result.boundaries, truth, tolerance=2) == 1.0

@@ -1,0 +1,135 @@
+"""Integration tests for the experiment drivers.
+
+These run the real simulation stack at very short trace lengths -- the
+goal is exercising every driver end-to-end, not reproducing the paper's
+shape (the benchmark harness checks shape at longer traces).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig1_normalization as fig1
+from repro.experiments import fig2_coverage_vs_spread as fig2
+from repro.experiments import fig4_clustering as fig4
+from repro.experiments import fig5_trend as fig5
+from repro.experiments import fig6_pca_coverage as fig6
+from repro.experiments import multiplexing as mux
+from repro.experiments.runner import (
+    ExperimentConfig,
+    clear_cache,
+    measure_suites,
+)
+
+TINY = ExperimentConfig(n_intervals=8, ops_per_interval=300,
+                        warmup_intervals=2, warmup_boost=3, seed=5)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestRunner:
+    def test_measure_suites_shapes(self):
+        matrices = measure_suites(["nbench"], TINY)
+        m = matrices["nbench"]
+        assert m.n_workloads == 10
+        assert m.n_events == 14
+        assert m.has_series
+
+    def test_cache_returns_same_object(self):
+        a = measure_suites(["nbench"], TINY)["nbench"]
+        b = measure_suites(["nbench"], TINY)["nbench"]
+        assert a is b
+
+    def test_different_config_different_measurement(self):
+        other = ExperimentConfig(n_intervals=6, ops_per_interval=300,
+                                 warmup_intervals=2, warmup_boost=3, seed=5)
+        a = measure_suites(["nbench"], TINY)["nbench"]
+        b = measure_suites(["nbench"], other)["nbench"]
+        assert a is not b
+
+    def test_presets(self):
+        quick = ExperimentConfig.quick()
+        full = ExperimentConfig.full()
+        assert quick.ops_per_interval < full.ops_per_interval
+
+
+class TestFig1:
+    def test_runs_and_renders(self):
+        result = fig1.run(TINY)
+        text = fig1.render(result)
+        assert "Fig. 1" in text
+        assert set(result.workloads) == {
+            "pagerank", "hashjoin", "bfs", "btree", "openssl"
+        }
+        for name in result.workloads:
+            assert result.normalized[name].shape == (100,)
+
+    def test_sparkline(self):
+        line = fig1.sparkline(np.arange(10), width=10)
+        assert len(line) == 10
+        assert line[0] == " " and line[-1] == "@"
+        assert len(set(fig1.sparkline(np.zeros(5)))) == 1
+
+
+class TestFig2:
+    def test_scores_show_the_contrast(self):
+        result = fig2.run()
+        assert result.wb_spread < result.wa_spread
+        text = fig2.render(result)
+        assert "suite WA" in text and "suite WB" in text
+
+    def test_wa_construction(self):
+        pts = fig2.make_wa(n=16, seed=0)
+        assert pts.shape == (16, 2)
+        assert pts.min() >= 0 and pts.max() <= 1
+
+    def test_wb_grid_spread(self):
+        pts = fig2.make_wb(n=16, seed=0)
+        # Jittered grid: no two points closer than a fraction of a cell.
+        from repro.stats.distance import pairwise_distances
+
+        d = pairwise_distances(pts)
+        np.fill_diagonal(d, np.inf)
+        assert d.min() > 0.05
+
+
+class TestFig4:
+    def test_panels(self):
+        result = fig4.run(TINY)
+        assert set(result.panels) == {"nbench", "sgxgauge"}
+        nb = result.panel("nbench")
+        assert nb.points.shape == (10, 2)
+        assert nb.labels.shape == (10,)
+        assert 2 <= nb.best_k <= 9
+        assert "Fig. 4" in fig4.render(result)
+
+
+class TestFig5:
+    def test_panels(self):
+        result = fig5.run(TINY)
+        spec = result.panel("spec17")
+        assert len(spec.normalized) == 43
+        assert spec.tscore >= 0
+        assert "Fig. 5" in fig5.render(result)
+
+
+class TestFig6:
+    def test_joint_projection(self):
+        result = fig6.run(TINY)
+        assert result.points["lmbench"].shape == (10, 2)
+        assert result.points["spec17"].shape == (43, 2)
+        assert set(result.coverage) == {"lmbench", "spec17"}
+        assert "Fig. 6" in fig6.render(result)
+
+
+class TestMultiplexing:
+    def test_error_structure(self):
+        result = mux.run(n_intervals=10, ops_per_interval=300,
+                         slot_counts=(14, 4))
+        assert result.mean_error[14] == 0.0
+        assert result.mean_error[4] >= 0.0
+        assert "multiplexing" in mux.render(result)

@@ -1,0 +1,92 @@
+"""Integration tests for the extended experiments (stability, machine
+ablations, subset generation, ablations) at tiny trace settings."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments import machine_ablations as mach
+from repro.experiments import stability
+from repro.experiments import subset_generation as subset
+from repro.experiments.runner import ExperimentConfig, clear_cache
+
+TINY = ExperimentConfig(n_intervals=8, ops_per_interval=300,
+                        warmup_intervals=2, warmup_boost=3, seed=5)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestSubsetExperiment:
+    def test_structure(self):
+        result = subset.run(TINY, n_random=2)
+        assert result.suite == "spec17"
+        assert len(result.lhs.selected) == 8
+        assert len(result.random_reports) == 2
+        assert result.random_mean_deviation >= 0
+        text = subset.render(result)
+        assert "LHS" in text and "prior-work" in text
+
+    def test_all_selections_are_members(self):
+        result = subset.run(TINY, n_random=1)
+        from repro.workloads import load_suite
+
+        names = {w.name for w in load_suite("spec17")}
+        for report in (result.lhs, result.prior_work, result.greedy):
+            assert set(report.selected) <= names
+
+
+class TestAblationsExperiment:
+    def test_tables_complete(self):
+        result = ablations.run(TINY, seeds=(0, 1))
+        assert set(result.pca_variance) == {0.80, 0.90, 0.95, 0.98, 1.00}
+        assert set(result.kmeans_restarts) == {1, 2, 8, 16}
+        assert set(result.dtw_band) == {"none", "10", "3", "1"}
+        assert set(result.spread_axis) == {"workloads", "events"}
+        assert set(result.cdf_mode) == {"quantized", "per_series", "pooled"}
+        assert "ablations" in ablations.render(result)
+
+    def test_banded_dtw_dominates(self):
+        result = ablations.run(TINY, seeds=(0,))
+        assert result.dtw_band["1"] >= result.dtw_band["none"] - 1e-9
+
+
+class TestMachineAblations:
+    def test_variants_produce_scorecards(self):
+        result = mach.run("nbench", n_intervals=6, ops_per_interval=250)
+        assert set(result.by_policy) == {"lru", "fifo", "random"}
+        assert set(result.by_prefetcher) == {True, False}
+        assert set(result.by_predictor) == {
+            "static", "bimodal", "gshare", "tournament"
+        }
+        assert "replacement policy" in mach.render(result)
+
+    def test_predictor_changes_counters(self):
+        result = mach.run("nbench", n_intervals=6, ops_per_interval=250)
+        static = result.by_predictor["static"]
+        tournament = result.by_predictor["tournament"]
+        # Different predictors -> different branch-miss columns -> some
+        # score must move.
+        moved = any(
+            abs(static.score(s) - tournament.score(s)) > 1e-9
+            for s in ("cluster", "trend", "coverage", "spread")
+        )
+        assert moved
+
+
+class TestStabilityExperiment:
+    def test_structure(self):
+        result = stability.run(TINY, n_boot=20, n_replications=1)
+        assert set(result.bootstrap) == {"cluster", "coverage", "spread"}
+        for b in result.bootstrap.values():
+            assert b.low <= b.high
+        assert set(result.ranking_agreement) == {
+            "cluster", "trend", "coverage", "spread"
+        }
+        for frac in result.ranking_agreement.values():
+            assert 0.0 <= frac <= 1.0
+        assert "stability" in stability.render(result)

@@ -1,0 +1,171 @@
+"""Cross-cutting invariance properties of the Perspector metrics.
+
+The scores describe a *set* of workloads measured on a *set* of events:
+nothing about them may depend on the order rows or columns happen to be
+listed in, on affine re-labelling that normalization is meant to remove,
+or on duplicated information that PCA is meant to discard. Hypothesis
+drives the checks over random matrices.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cluster_score import cluster_score
+from repro.core.coverage_score import coverage_score
+from repro.core.matrix import CounterMatrix
+from repro.core.spread_score import spread_score
+from repro.core.subset import LHSSubsetGenerator
+from repro.core.trend_score import event_trend_score
+
+
+def random_matrix(seed, n=8, m=5):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, 1000, size=(n, m))
+
+
+def named(values, seed_names=0):
+    n, m = values.shape
+    return CounterMatrix(
+        workloads=tuple(f"w{i}" for i in range(n)),
+        events=tuple(f"e{j}" for j in range(m)),
+        values=values,
+        suite_name="t",
+    )
+
+
+class TestRowOrderInvariance:
+    """Permuting the workload rows must not change any score."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_cluster(self, seed):
+        x = random_matrix(seed)
+        perm = np.random.default_rng(seed + 1).permutation(x.shape[0])
+        a = cluster_score(x, seed=1).value
+        b = cluster_score(x[perm], seed=1).value
+        # K-means++ restarts make this nearly (not bitwise) exact.
+        assert a == pytest.approx(b, abs=0.05)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_coverage_exact(self, seed):
+        x = random_matrix(seed)
+        perm = np.random.default_rng(seed + 1).permutation(x.shape[0])
+        assert coverage_score(x).value == pytest.approx(
+            coverage_score(x[perm]).value, rel=1e-9
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_spread_exact(self, seed):
+        x = random_matrix(seed)
+        perm = np.random.default_rng(seed + 1).permutation(x.shape[0])
+        assert spread_score(x).value == pytest.approx(
+            spread_score(x[perm]).value, rel=1e-9
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_trend_series_order(self, seed):
+        rng = np.random.default_rng(seed)
+        group = [rng.uniform(0, 100, 15) for _ in range(5)]
+        shuffled = [group[i] for i in rng.permutation(5)]
+        assert event_trend_score(group) == pytest.approx(
+            event_trend_score(shuffled), rel=1e-9
+        )
+
+
+class TestColumnOrderInvariance:
+    """Permuting the event columns must not change any score."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_coverage_exact(self, seed):
+        x = random_matrix(seed)
+        perm = np.random.default_rng(seed + 2).permutation(x.shape[1])
+        assert coverage_score(x).value == pytest.approx(
+            coverage_score(x[:, perm]).value, rel=1e-9
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_spread_exact(self, seed):
+        x = random_matrix(seed)
+        perm = np.random.default_rng(seed + 2).permutation(x.shape[1])
+        assert spread_score(x).value == pytest.approx(
+            spread_score(x[:, perm]).value, rel=1e-9
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_cluster_approx(self, seed):
+        x = random_matrix(seed)
+        perm = np.random.default_rng(seed + 2).permutation(x.shape[1])
+        a = cluster_score(x, seed=1).value
+        b = cluster_score(x[:, perm], seed=1).value
+        assert a == pytest.approx(b, abs=0.05)
+
+
+class TestAffineInvariance:
+    """Per-event affine rescaling is absorbed by the normalization."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_all_scores(self, seed):
+        x = random_matrix(seed)
+        rng = np.random.default_rng(seed + 3)
+        scale = rng.uniform(0.1, 1000, size=x.shape[1])
+        shift = rng.uniform(-100, 100, size=x.shape[1])
+        y = x * scale + shift
+        assert coverage_score(x).value == pytest.approx(
+            coverage_score(y).value, rel=1e-6
+        )
+        assert spread_score(x).value == pytest.approx(
+            spread_score(y).value, rel=1e-6
+        )
+        assert cluster_score(x, seed=1).value == pytest.approx(
+            cluster_score(y, seed=1).value, abs=0.05
+        )
+
+
+class TestRedundancyInvariance:
+    """Duplicating a perfectly correlated event adds no coverage."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_pca_discards_duplicate_column(self, seed):
+        x = random_matrix(seed)
+        dup = np.hstack([x, x[:, :1]])
+        a = coverage_score(x)
+        b = coverage_score(dup)
+        # No new structure appears: the component count cannot grow by
+        # more than the duplicated direction, and the mean-variance score
+        # moves only by re-weighting (duplicating a column doubles its
+        # variance share and can shrink the 98% cut), never by multiples.
+        assert b.n_components <= a.n_components + 1
+        assert 0.5 * a.value <= b.value <= 2.0 * a.value
+
+
+class TestSubsetDeterminismInvariance:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_selection_invariant_to_row_relabelling(self, seed):
+        x = random_matrix(seed, n=12)
+        m = named(x)
+        gen = LHSSubsetGenerator(subset_size=5, seed=3)
+        first = gen.select(m)
+        # Re-selection is idempotent.
+        assert gen.select(m) == first
+        # Renaming workloads changes names, not positions chosen.
+        renamed = CounterMatrix(
+            workloads=tuple(f"x{i}" for i in range(12)),
+            events=m.events,
+            values=m.values,
+            suite_name="t",
+        )
+        second = LHSSubsetGenerator(subset_size=5, seed=3).select(renamed)
+        first_idx = [m.workloads.index(w) for w in first]
+        second_idx = [renamed.workloads.index(w) for w in second]
+        assert first_idx == second_idx

@@ -1,0 +1,118 @@
+"""Tests for repro.perf.derived."""
+
+import numpy as np
+import pytest
+
+from repro.perf.derived import (
+    characterization_table,
+    derive_from_samples,
+    derive_from_totals,
+)
+from repro.perf.session import PerfSession
+from repro.uarch.config import small_test_machine
+from repro.workloads import load_suite
+
+
+def totals(**overrides):
+    base = {
+        "cpu-cycles": 10_000.0,
+        "branch-instructions": 800.0,
+        "branch-misses": 40.0,
+        "dtlb_walk_pending": 500.0,
+        "stalls_mem_any": 2_000.0,
+        "page-faults": 3.0,
+        "dTLB-loads": 3_000.0,
+        "dTLB-stores": 1_000.0,
+        "dTLB-load-misses": 60.0,
+        "dTLB-store-misses": 20.0,
+        "LLC-loads": 200.0,
+        "LLC-stores": 100.0,
+        "LLC-load-misses": 50.0,
+        "LLC-store-misses": 10.0,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestDeriveFromTotals:
+    def test_ipc(self):
+        d = derive_from_totals(totals(), instructions=5_000)
+        assert d.ipc == pytest.approx(0.5)
+
+    def test_mpki_values(self):
+        d = derive_from_totals(totals(), instructions=10_000)
+        assert d.branch_mpki == pytest.approx(4.0)
+        assert d.llc_mpki == pytest.approx(6.0)
+        assert d.dtlb_mpki == pytest.approx(8.0)
+
+    def test_miss_ratios(self):
+        d = derive_from_totals(totals(), instructions=10_000)
+        assert d.llc_miss_ratio == pytest.approx(60.0 / 300.0)
+        assert d.dtlb_miss_ratio == pytest.approx(80.0 / 4000.0)
+
+    def test_fractions(self):
+        d = derive_from_totals(totals(), instructions=10_000)
+        assert d.stall_fraction == pytest.approx(0.2)
+        assert d.walk_cycle_fraction == pytest.approx(0.05)
+
+    def test_faults_per_mop(self):
+        d = derive_from_totals(totals(), instructions=1_000_000)
+        assert d.faults_per_mop == pytest.approx(3.0)
+
+    def test_zero_denominators(self):
+        z = totals(**{"cpu-cycles": 0.0, "LLC-loads": 0.0,
+                      "LLC-stores": 0.0, "LLC-load-misses": 0.0,
+                      "LLC-store-misses": 0.0})
+        d = derive_from_totals(z, instructions=0)
+        assert d.ipc == 0.0
+        assert d.llc_miss_ratio == 0.0
+
+    def test_negative_instructions_raise(self):
+        with pytest.raises(ValueError):
+            derive_from_totals(totals(), instructions=-1)
+
+    def test_as_dict_keys(self):
+        d = derive_from_totals(totals(), instructions=100)
+        assert set(d.as_dict()) == {
+            "ipc", "branch_mpki", "llc_mpki", "dtlb_mpki",
+            "llc_miss_ratio", "dtlb_miss_ratio", "stall_fraction",
+            "walk_cycle_fraction", "faults_per_mop",
+        }
+
+
+class TestDeriveFromSamples:
+    def test_end_to_end_sane(self):
+        from repro.uarch.cpu import CPU
+        from repro.workloads import load_suite
+
+        suite = load_suite("nbench")
+        w = suite.workload("fourier")
+        cpu = CPU(small_test_machine(), seed=0)
+        samples = [cpu.execute_interval(iv)
+                   for iv in w.intervals(6, 300, seed=1)]
+        d = derive_from_samples(samples)
+        assert 0 < d.ipc < 5
+        assert 0 <= d.llc_miss_ratio <= 1
+        assert 0 <= d.stall_fraction <= 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no samples"):
+            derive_from_samples([])
+
+
+class TestCharacterizationTable:
+    def test_renders_rows(self):
+        session = PerfSession(machine=small_test_machine(), n_intervals=4,
+                              ops_per_interval=200, warmup_intervals=0,
+                              seed=1)
+        suite = load_suite("nbench")
+        measurements = [session.run_workload(w) for w in list(suite)[:3]]
+        # Approximate instruction totals from cycles (the table only
+        # needs an instructions number per workload).
+        instructions = {
+            m.name: m.totals["cpu-cycles"] for m in measurements
+        }
+        text = characterization_table(measurements, instructions)
+        assert "IPC" in text
+        for m in measurements:
+            assert m.name in text

@@ -1,0 +1,117 @@
+"""Tests for repro.stats.bootstrap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.bootstrap import (
+    BootstrapResult,
+    bootstrap_statistic,
+    ranking_stability,
+)
+
+
+def mean_stat(rows):
+    return float(rows.mean())
+
+
+class TestBootstrapStatistic:
+    def test_interval_contains_estimate_for_smooth_stat(self):
+        rng = np.random.default_rng(0)
+        rows = rng.normal(loc=5.0, size=(40, 3))
+        result = bootstrap_statistic(rows, mean_stat, n_boot=200, rng=1)
+        assert result.low <= result.estimate <= result.high
+        assert result.contains(5.0)
+
+    def test_more_rows_narrower_interval(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_statistic(rng.normal(size=(8, 2)), mean_stat,
+                                    n_boot=300, rng=2)
+        large = bootstrap_statistic(rng.normal(size=(200, 2)), mean_stat,
+                                    n_boot=300, rng=2)
+        assert large.width < small.width
+
+    def test_constant_statistic_zero_width(self):
+        rows = np.ones((10, 2))
+        result = bootstrap_statistic(rows, mean_stat, n_boot=50, rng=0)
+        assert result.width == pytest.approx(0.0)
+
+    def test_samples_length(self):
+        rows = np.random.default_rng(3).normal(size=(10, 2))
+        result = bootstrap_statistic(rows, mean_stat, n_boot=77, rng=0)
+        assert result.samples.shape == (77,)
+
+    def test_confidence_affects_width(self):
+        rows = np.random.default_rng(4).normal(size=(20, 2))
+        wide = bootstrap_statistic(rows, mean_stat, n_boot=400,
+                                   confidence=0.99, rng=5)
+        narrow = bootstrap_statistic(rows, mean_stat, n_boot=400,
+                                     confidence=0.5, rng=5)
+        assert narrow.width < wide.width
+
+    def test_deterministic_under_seed(self):
+        rows = np.random.default_rng(6).normal(size=(15, 2))
+        a = bootstrap_statistic(rows, mean_stat, n_boot=50, rng=9)
+        b = bootstrap_statistic(rows, mean_stat, n_boot=50, rng=9)
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+    def test_validation(self):
+        rows = np.zeros((5, 2))
+        with pytest.raises(ValueError, match="2-D"):
+            bootstrap_statistic(np.zeros(5), mean_stat)
+        with pytest.raises(ValueError, match="two rows"):
+            bootstrap_statistic(np.zeros((1, 2)), mean_stat)
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_statistic(rows, mean_stat, confidence=1.5)
+        with pytest.raises(ValueError, match="n_boot"):
+            bootstrap_statistic(rows, mean_stat, n_boot=0)
+
+    def test_min_rows_respected(self):
+        # The statistic asserts it never sees a degenerate resample.
+        rows = np.arange(20.0).reshape(10, 2)
+
+        def stat(x):
+            assert np.unique(x, axis=0).shape[0] >= 2
+            return float(x.mean())
+
+        bootstrap_statistic(rows, stat, n_boot=100, rng=3, min_rows=2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_property_bounds_ordered(self, seed):
+        rng = np.random.default_rng(seed)
+        rows = rng.normal(size=(12, 3))
+        result = bootstrap_statistic(rows, mean_stat, n_boot=60, rng=seed)
+        assert result.low <= result.high
+
+
+class TestRankingStability:
+    def test_perfectly_separated_is_stable(self):
+        scores = {"a": 1.0, "b": 10.0, "c": 100.0}
+        samples = {
+            "a": np.full(50, 1.0) + np.random.default_rng(0).normal(
+                scale=0.01, size=50),
+            "b": np.full(50, 10.0),
+            "c": np.full(50, 100.0),
+        }
+        assert ranking_stability(scores, samples) == 1.0
+
+    def test_overlapping_is_unstable(self):
+        rng = np.random.default_rng(1)
+        scores = {"a": 1.0, "b": 1.01}
+        samples = {
+            "a": rng.normal(loc=1.0, scale=0.5, size=200),
+            "b": rng.normal(loc=1.01, scale=0.5, size=200),
+        }
+        stability = ranking_stability(scores, samples)
+        assert 0.2 < stability < 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="no suites"):
+            ranking_stability({}, {})
+        with pytest.raises(ValueError, match="share a length"):
+            ranking_stability(
+                {"a": 1.0, "b": 2.0},
+                {"a": np.zeros(5), "b": np.zeros(6)},
+            )

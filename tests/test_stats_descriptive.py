@@ -1,0 +1,154 @@
+"""Tests for repro.stats.descriptive (Fig. 1 normalization primitives)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.descriptive import (
+    coefficient_of_variation,
+    empirical_cdf,
+    normalize_series_for_dtw,
+    percentile_resample,
+    summary,
+)
+
+
+class TestEmpiricalCdf:
+    def test_max_maps_to_100(self):
+        values = [3.0, 1.0, 4.0, 1.5]
+        cdf = empirical_cdf(values)
+        assert cdf[np.argmax(values)] == pytest.approx(100.0)
+
+    def test_bounded_0_100(self):
+        rng = np.random.default_rng(0)
+        cdf = empirical_cdf(rng.normal(size=200))
+        assert cdf.min() > 0.0 and cdf.max() == pytest.approx(100.0)
+
+    def test_monotone_with_values(self):
+        values = np.array([5.0, 2.0, 9.0, 2.5])
+        cdf = empirical_cdf(values)
+        order_v = np.argsort(values)
+        assert np.all(np.diff(cdf[order_v]) >= 0)
+
+    def test_ties_equal_percentiles(self):
+        cdf = empirical_cdf([1.0, 1.0, 2.0])
+        assert cdf[0] == cdf[1]
+
+    def test_uniform_grid_percentiles(self):
+        n = 10
+        cdf = empirical_cdf(np.arange(n))
+        np.testing.assert_allclose(cdf, 100.0 * (np.arange(n) + 1) / n)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            empirical_cdf([])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            # Round to a coarse grid so the affine transform below cannot
+            # create or destroy ties via float rounding.
+            st.floats(-1e6, 1e6, allow_nan=False).map(lambda v: round(v, 3)),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_property_scale_invariant(self, values):
+        a = empirical_cdf(values)
+        b = empirical_cdf(np.asarray(values) * 3.7 + 11.0)
+        np.testing.assert_allclose(a, b)
+
+
+class TestPercentileResample:
+    def test_output_length(self):
+        out = percentile_resample([1.0, 2.0, 3.0], n_points=50)
+        assert out.shape == (50,)
+
+    def test_preserves_endpoints(self):
+        s = np.array([5.0, 1.0, 9.0])
+        out = percentile_resample(s, n_points=7)
+        assert out[0] == pytest.approx(5.0)
+        assert out[-1] == pytest.approx(9.0)
+
+    def test_identity_when_lengths_match(self):
+        s = np.array([1.0, 4.0, 2.0, 8.0])
+        np.testing.assert_allclose(percentile_resample(s, n_points=4), s)
+
+    def test_single_point_series(self):
+        out = percentile_resample([3.0], n_points=5)
+        np.testing.assert_array_equal(out, np.full(5, 3.0))
+
+    def test_different_lengths_align(self):
+        # A long and a short sampling of the same ramp resample identically.
+        long = np.linspace(0, 10, 101)
+        short = np.linspace(0, 10, 11)
+        np.testing.assert_allclose(
+            percentile_resample(long, 20), percentile_resample(short, 20),
+            atol=1e-9,
+        )
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile_resample([], 5)
+        with pytest.raises(ValueError, match="n_points"):
+            percentile_resample([1.0], 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=40),
+        st.integers(1, 60),
+    )
+    def test_property_within_input_range(self, series, n_points):
+        out = percentile_resample(series, n_points)
+        assert out.min() >= min(series) - 1e-9
+        assert out.max() <= max(series) + 1e-9
+
+
+class TestNormalizeSeriesForDtw:
+    def test_output_bounded_0_100(self):
+        rng = np.random.default_rng(1)
+        out = normalize_series_for_dtw(rng.normal(scale=1e9, size=60))
+        assert out.min() >= 0.0 and out.max() <= 100.0
+
+    def test_magnitude_independence(self):
+        # The paper's Fig. 1 point: a series with huge absolute values must
+        # not dominate after normalization.
+        rng = np.random.default_rng(2)
+        shape = rng.uniform(size=50)
+        small = normalize_series_for_dtw(shape)
+        large = normalize_series_for_dtw(shape * 1e9)
+        np.testing.assert_allclose(small, large)
+
+    def test_fixed_output_length(self):
+        out = normalize_series_for_dtw(np.arange(37), n_points=100)
+        assert out.shape == (100,)
+
+
+class TestSummary:
+    def test_fields(self):
+        s = summary([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.n == 4
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summary([])
+
+
+class TestCoefficientOfVariation:
+    def test_zero_mean_returns_zero(self):
+        assert coefficient_of_variation([-1.0, 1.0]) == 0.0
+
+    def test_known_value(self):
+        v = [10.0, 10.0, 10.0]
+        assert coefficient_of_variation(v) == 0.0
+
+    def test_scale_invariant(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert coefficient_of_variation(a) == pytest.approx(
+            coefficient_of_variation(a * 100)
+        )

@@ -1,0 +1,138 @@
+"""Tests for repro.stats.distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.stats.distance import cdist, euclidean, manhattan, pairwise_distances
+
+
+def finite_matrix(min_rows=1, max_rows=12, min_cols=1, max_cols=6):
+    shape = st.tuples(
+        st.integers(min_rows, max_rows), st.integers(min_cols, max_cols)
+    )
+    return shape.flatmap(
+        lambda s: arrays(
+            float,
+            s,
+            elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+        )
+    )
+
+
+class TestEuclidean:
+    def test_identical_vectors(self):
+        assert euclidean([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_known_345(self):
+        assert euclidean([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            euclidean([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_symmetry(self):
+        a, b = [1.0, -2.0, 0.5], [4.0, 0.0, -1.0]
+        assert euclidean(a, b) == euclidean(b, a)
+
+
+class TestManhattan:
+    def test_known_value(self):
+        assert manhattan([0.0, 0.0], [3.0, 4.0]) == pytest.approx(7.0)
+
+    def test_dominates_from_below_by_euclidean(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([-1.0, 5.0, 2.0])
+        assert manhattan(a, b) >= euclidean(a, b)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            manhattan([1.0], [1.0, 2.0])
+
+
+class TestCdist:
+    def test_shapes(self):
+        a = np.zeros((4, 3))
+        b = np.ones((6, 3))
+        assert cdist(a, b).shape == (4, 6)
+
+    def test_euclidean_matches_scalar_function(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(5, 4))
+        b = rng.normal(size=(7, 4))
+        d = cdist(a, b)
+        for i in range(5):
+            for j in range(7):
+                assert d[i, j] == pytest.approx(euclidean(a[i], b[j]))
+
+    def test_sqeuclidean_is_square_of_euclidean(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(4, 3))
+        d = cdist(a, a, metric="euclidean")
+        sq = cdist(a, a, metric="sqeuclidean")
+        np.testing.assert_allclose(sq, d ** 2, atol=1e-9)
+
+    def test_manhattan_metric(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        assert cdist(a, b, metric="manhattan")[0, 0] == pytest.approx(7.0)
+
+    def test_chebyshev_metric(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        assert cdist(a, b, metric="chebyshev")[0, 0] == pytest.approx(4.0)
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            cdist(np.zeros((2, 2)), np.zeros((2, 2)), metric="cosine")
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            cdist(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_rejects_nan(self):
+        a = np.array([[np.nan, 0.0]])
+        with pytest.raises(ValueError, match="non-finite"):
+            cdist(a, a)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            cdist(np.zeros(3), np.zeros((2, 3)))
+
+
+class TestPairwiseDistances:
+    def test_zero_diagonal(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(9, 4))
+        d = pairwise_distances(x)
+        np.testing.assert_array_equal(np.diag(d), np.zeros(9))
+
+    def test_exact_symmetry(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(11, 5)) * 1e6
+        d = pairwise_distances(x)
+        np.testing.assert_array_equal(d, d.T)
+
+    @settings(max_examples=30, deadline=None)
+    @given(finite_matrix(min_rows=2))
+    def test_nonnegative_and_symmetric(self, x):
+        d = pairwise_distances(x)
+        assert np.all(d >= 0)
+        np.testing.assert_array_equal(d, d.T)
+
+    @settings(max_examples=30, deadline=None)
+    @given(finite_matrix(min_rows=3, max_rows=8, max_cols=4))
+    def test_triangle_inequality(self, x):
+        d = pairwise_distances(x)
+        n = d.shape[0]
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-6
+
+    def test_duplicate_rows_distance_zero(self):
+        x = np.array([[1.0, 2.0], [1.0, 2.0], [3.0, 4.0]])
+        d = pairwise_distances(x)
+        assert d[0, 1] == pytest.approx(0.0, abs=1e-12)

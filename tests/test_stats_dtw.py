@@ -1,0 +1,163 @@
+"""Tests for repro.stats.dtw."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.dtw import dtw_distance, dtw_matrix, dtw_path
+
+
+def series(min_len=2, max_len=20):
+    return st.lists(
+        st.floats(-50, 50, allow_nan=False, allow_infinity=False),
+        min_size=min_len,
+        max_size=max_len,
+    )
+
+
+class TestDTWDistance:
+    def test_identical_series_zero(self):
+        s = [1.0, 3.0, 2.0, 5.0]
+        assert dtw_distance(s, s) == 0.0
+
+    def test_warped_copy_zero(self):
+        # Repeating samples is pure warping: distance stays 0.
+        a = [1.0, 2.0, 3.0, 4.0]
+        b = [1.0, 1.0, 2.0, 3.0, 3.0, 4.0]
+        assert dtw_distance(a, b) == 0.0
+
+    def test_known_small_case(self):
+        # Hand-computed: cost matrix for [0, 1] vs [0, 2].
+        # acc = [[0, 2], [1, 1+min(0,2,1)=1]] -> 1.
+        assert dtw_distance([0.0, 1.0], [0.0, 2.0]) == pytest.approx(1.0)
+
+    def test_constant_offset(self):
+        a = np.zeros(5)
+        b = np.ones(5)
+        assert dtw_distance(a, b) == pytest.approx(5.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=10)
+        b = rng.normal(size=14)
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    def test_multivariate(self):
+        a = np.array([[0.0, 0.0], [1.0, 1.0]])
+        b = np.array([[0.0, 0.0], [1.0, 1.0], [1.0, 1.0]])
+        assert dtw_distance(a, b) == pytest.approx(0.0)
+
+    def test_multivariate_dim_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            dtw_distance(np.zeros((3, 2)), np.zeros((3, 3)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            dtw_distance([], [1.0])
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            dtw_distance([np.nan], [1.0])
+
+    def test_band_at_least_euclidean_band_zero(self):
+        # Band 0 on equal-length series degenerates to the pointwise L1 sum.
+        a = np.array([0.0, 1.0, 2.0, 3.0])
+        b = np.array([1.0, 1.0, 2.0, 5.0])
+        banded = dtw_distance(a, b, band=0)
+        assert banded == pytest.approx(np.abs(a - b).sum())
+
+    def test_band_never_below_unconstrained(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=12)
+        b = rng.normal(size=12)
+        free = dtw_distance(a, b)
+        for band in (0, 1, 3, 6):
+            assert dtw_distance(a, b, band=band) >= free - 1e-9
+
+    def test_wide_band_equals_unconstrained(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=10)
+        b = rng.normal(size=13)
+        assert dtw_distance(a, b, band=50) == pytest.approx(dtw_distance(a, b))
+
+    def test_normalized_divides_by_path_length(self):
+        a = np.zeros(5)
+        b = np.ones(5)
+        raw = dtw_distance(a, b)
+        norm = dtw_distance(a, b, normalize=True)
+        assert norm == pytest.approx(raw / 5)  # diagonal path, length 5
+
+    @settings(max_examples=40, deadline=None)
+    @given(series(), series())
+    def test_property_nonnegative_and_symmetric(self, a, b):
+        d = dtw_distance(a, b)
+        assert d >= 0
+        assert d == pytest.approx(dtw_distance(b, a))
+
+    @settings(max_examples=30, deadline=None)
+    @given(series())
+    def test_property_self_distance_zero(self, a):
+        assert dtw_distance(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(series(min_len=3), st.floats(0.1, 10))
+    def test_property_scaling(self, a, c):
+        # DTW with |.| cost is positively homogeneous in the values.
+        a = np.asarray(a)
+        b = a[::-1].copy()
+        assert dtw_distance(c * a, c * b) == pytest.approx(
+            c * dtw_distance(a, b), rel=1e-6, abs=1e-6
+        )
+
+
+class TestDTWPath:
+    def test_path_endpoints(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=6)
+        b = rng.normal(size=9)
+        _, path = dtw_path(a, b)
+        assert path[0] == (0, 0)
+        assert path[-1] == (5, 8)
+
+    def test_path_monotone_steps(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=7)
+        b = rng.normal(size=5)
+        _, path = dtw_path(a, b)
+        for (i0, j0), (i1, j1) in zip(path, path[1:]):
+            assert (i1 - i0, j1 - j0) in {(0, 1), (1, 0), (1, 1)}
+
+    def test_path_cost_equals_distance(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=8)
+        b = rng.normal(size=6)
+        dist, path = dtw_path(a, b)
+        manual = sum(abs(a[i] - b[j]) for i, j in path)
+        assert dist == pytest.approx(manual)
+
+
+class TestDTWMatrix:
+    def test_shape_and_diagonal(self):
+        rng = np.random.default_rng(6)
+        series_list = [rng.normal(size=rng.integers(5, 12)) for _ in range(4)]
+        m = dtw_matrix(series_list)
+        assert m.shape == (4, 4)
+        np.testing.assert_array_equal(np.diag(m), 0.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(7)
+        series_list = [rng.normal(size=10) for _ in range(5)]
+        m = dtw_matrix(series_list)
+        np.testing.assert_array_equal(m, m.T)
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            dtw_matrix([])
+
+    def test_entries_match_pairwise_calls(self):
+        rng = np.random.default_rng(8)
+        series_list = [rng.normal(size=6) for _ in range(3)]
+        m = dtw_matrix(series_list)
+        assert m[0, 1] == pytest.approx(dtw_distance(series_list[0], series_list[1]))
+        assert m[1, 2] == pytest.approx(dtw_distance(series_list[1], series_list[2]))

@@ -1,0 +1,113 @@
+"""Tests for repro.stats.hierarchical (prior-work baseline machinery)."""
+
+import numpy as np
+import pytest
+from scipy.cluster import hierarchy as scipy_hierarchy
+
+from repro.stats.hierarchical import (
+    HierarchicalClustering,
+    fcluster_by_count,
+    linkage_matrix,
+)
+
+
+def blobs(seed=0, n_per=8, sep=12.0):
+    rng = np.random.default_rng(seed)
+    centres = np.array([[0.0, 0.0], [sep, 0.0], [0.0, sep]])
+    x = np.vstack([c + rng.normal(scale=0.4, size=(n_per, 2)) for c in centres])
+    truth = np.repeat(np.arange(3), n_per)
+    return x, truth
+
+
+class TestLinkageMatrix:
+    def test_shape(self):
+        x, _ = blobs()
+        merges = linkage_matrix(x)
+        assert merges.shape == (x.shape[0] - 1, 4)
+
+    def test_final_merge_contains_all(self):
+        x, _ = blobs()
+        merges = linkage_matrix(x)
+        assert merges[-1, 3] == x.shape[0]
+
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average", "ward"])
+    def test_matches_scipy(self, linkage):
+        x, _ = blobs(seed=3, n_per=5)
+        ours = linkage_matrix(x, linkage=linkage)
+        ref = scipy_hierarchy.linkage(x, method=linkage)
+        # Merge distances must agree (cluster id order can differ on ties).
+        np.testing.assert_allclose(np.sort(ours[:, 2]), np.sort(ref[:, 2]),
+                                   rtol=1e-9)
+
+    def test_merge_distances_nondecreasing_for_average(self):
+        x, _ = blobs(seed=1)
+        merges = linkage_matrix(x, linkage="average")
+        dists = merges[:, 2]
+        assert np.all(np.diff(dists) >= -1e-9)
+
+    def test_unknown_linkage_raises(self):
+        with pytest.raises(ValueError, match="unknown linkage"):
+            linkage_matrix(np.zeros((3, 2)), linkage="median")
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError, match="two samples"):
+            linkage_matrix(np.zeros((1, 2)))
+
+    def test_precomputed_distances(self):
+        from repro.stats.distance import pairwise_distances
+
+        x, _ = blobs(seed=2, n_per=4)
+        d = pairwise_distances(x)
+        a = linkage_matrix(x, linkage="average")
+        b = linkage_matrix(x, linkage="average", precomputed_distances=d)
+        np.testing.assert_allclose(a, b)
+
+    def test_bad_distance_shape_raises(self):
+        with pytest.raises(ValueError, match="distance matrix"):
+            linkage_matrix(np.zeros((4, 2)), precomputed_distances=np.zeros((3, 3)))
+
+
+class TestFcluster:
+    def test_recovers_blobs(self):
+        x, truth = blobs(seed=4)
+        labels = HierarchicalClustering(3, linkage="average").fit_predict(x)
+        for c in range(3):
+            assert np.unique(labels[truth == c]).size == 1
+
+    def test_n_clusters_one_single_label(self):
+        x, _ = blobs()
+        merges = linkage_matrix(x)
+        labels = fcluster_by_count(merges, 1)
+        assert np.unique(labels).size == 1
+
+    def test_n_clusters_n_all_singletons(self):
+        x, _ = blobs(n_per=3)
+        merges = linkage_matrix(x)
+        labels = fcluster_by_count(merges, x.shape[0])
+        assert np.unique(labels).size == x.shape[0]
+
+    def test_label_count_matches_request(self):
+        x, _ = blobs(seed=5)
+        merges = linkage_matrix(x)
+        for k in (2, 3, 5, 7):
+            labels = fcluster_by_count(merges, k)
+            assert np.unique(labels).size == k
+
+    def test_out_of_range_raises(self):
+        x, _ = blobs(n_per=2)
+        merges = linkage_matrix(x)
+        with pytest.raises(ValueError, match="n_clusters"):
+            fcluster_by_count(merges, 0)
+        with pytest.raises(ValueError, match="n_clusters"):
+            fcluster_by_count(merges, x.shape[0] + 1)
+
+    def test_labels_contiguous_from_zero(self):
+        x, _ = blobs(seed=6)
+        labels = HierarchicalClustering(4).fit_predict(x)
+        assert set(labels) == set(range(4))
+
+    def test_ward_on_blobs(self):
+        x, truth = blobs(seed=7)
+        labels = HierarchicalClustering(3, linkage="ward").fit_predict(x)
+        for c in range(3):
+            assert np.unique(labels[truth == c]).size == 1

@@ -1,0 +1,135 @@
+"""Tests for repro.stats.kmeans."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.kmeans import KMeans, kmeans
+
+
+def three_blobs(n_per=20, seed=0, sep=10.0):
+    rng = np.random.default_rng(seed)
+    centres = np.array([[0.0, 0.0], [sep, 0.0], [0.0, sep]])
+    pts = np.vstack(
+        [c + rng.normal(scale=0.5, size=(n_per, 2)) for c in centres]
+    )
+    truth = np.repeat(np.arange(3), n_per)
+    return pts, truth
+
+
+class TestKMeansBasics:
+    def test_recovers_separated_blobs(self):
+        x, truth = three_blobs()
+        result = kmeans(x, 3, seed=1)
+        # Same-partition check, invariant to label permutation.
+        for cluster in range(3):
+            members = result.labels[truth == cluster]
+            assert np.unique(members).size == 1
+
+    def test_labels_shape_and_range(self):
+        x, _ = three_blobs()
+        result = kmeans(x, 3, seed=1)
+        assert result.labels.shape == (x.shape[0],)
+        assert set(np.unique(result.labels)) <= {0, 1, 2}
+
+    def test_k1_returns_mean_centroid(self):
+        x, _ = three_blobs()
+        result = kmeans(x, 1)
+        np.testing.assert_allclose(result.centroids[0], x.mean(axis=0))
+        assert np.all(result.labels == 0)
+        assert result.converged
+
+    def test_k_equals_n_gives_zero_inertia(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(6, 2))
+        result = kmeans(x, 6, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-18)
+
+    def test_inertia_monotone_in_k(self):
+        x, _ = three_blobs()
+        inertias = [kmeans(x, k, seed=5, n_restarts=10).inertia for k in (1, 2, 3, 5)]
+        assert all(a >= b - 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+    def test_deterministic_under_seed(self):
+        x, _ = three_blobs(seed=7)
+        r1 = kmeans(x, 3, seed=42)
+        r2 = kmeans(x, 3, seed=42)
+        np.testing.assert_array_equal(r1.labels, r2.labels)
+        assert r1.inertia == r2.inertia
+
+    def test_cluster_sizes_sum_to_n(self):
+        x, _ = three_blobs()
+        result = kmeans(x, 4, seed=2)
+        assert result.cluster_sizes().sum() == x.shape[0]
+
+    def test_no_empty_clusters_on_duplicates(self):
+        # All points identical except two: k=3 forces empty-cluster repair.
+        x = np.zeros((10, 2))
+        x[0] = [5.0, 5.0]
+        x[1] = [-5.0, 5.0]
+        result = kmeans(x, 3, seed=0)
+        assert np.unique(result.labels).size == 3
+
+
+class TestKMeansValidation:
+    def test_k_zero_raises(self):
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            KMeans(k=0)
+
+    def test_more_clusters_than_samples_raises(self):
+        with pytest.raises(ValueError, match="cannot form"):
+            kmeans(np.zeros((3, 2)), 5)
+
+    def test_1d_input_raises(self):
+        with pytest.raises(ValueError, match="2-D"):
+            kmeans(np.zeros(5), 2)
+
+    def test_zero_restarts_raises(self):
+        with pytest.raises(ValueError, match="n_restarts"):
+            KMeans(k=2, n_restarts=0)
+
+
+class TestKMeansProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(4, 24),
+        k=st.integers(2, 4),
+        seed=st.integers(0, 1000),
+    )
+    def test_every_cluster_nonempty(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(max(n, k), 3))
+        result = kmeans(x, k, seed=seed)
+        assert np.unique(result.labels).size == k
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_centroid_is_mean_of_members(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(15, 2))
+        result = kmeans(x, 3, seed=seed)
+        for j in range(3):
+            members = x[result.labels == j]
+            np.testing.assert_allclose(
+                result.centroids[j], members.mean(axis=0), atol=1e-9
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_inertia_matches_definition(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(12, 3))
+        result = kmeans(x, 3, seed=seed)
+        manual = sum(
+            np.sum((x[result.labels == j] - result.centroids[j]) ** 2)
+            for j in range(3)
+        )
+        assert result.inertia == pytest.approx(manual, rel=1e-9)
+
+    def test_more_restarts_never_worse(self):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(30, 4))
+        few = KMeans(k=4, n_restarts=1, seed=3).fit(x).inertia
+        many = KMeans(k=4, n_restarts=20, seed=3).fit(x).inertia
+        assert many <= few + 1e-9

@@ -1,0 +1,117 @@
+"""Tests for repro.stats.kstest."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.stats.kstest import (
+    ks_statistic_uniform,
+    ks_test_uniform,
+    ks_two_sample,
+)
+
+
+class TestOneSampleUniform:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            sample = rng.uniform(size=50)
+            ours = ks_statistic_uniform(sample)
+            ref = scipy_stats.kstest(sample, "uniform").statistic
+            assert ours == pytest.approx(ref, abs=1e-12)
+
+    def test_pvalue_close_to_scipy_asymptotic(self):
+        rng = np.random.default_rng(1)
+        sample = rng.uniform(size=200)
+        ours = ks_test_uniform(sample)
+        ref = scipy_stats.kstest(sample, "uniform")
+        assert ours.statistic == pytest.approx(ref.statistic, abs=1e-12)
+        assert ours.pvalue == pytest.approx(ref.pvalue, abs=0.02)
+
+    def test_perfect_grid_low_statistic(self):
+        n = 100
+        grid = (np.arange(n) + 0.5) / n
+        assert ks_statistic_uniform(grid) == pytest.approx(0.5 / n)
+
+    def test_point_mass_high_statistic(self):
+        sample = np.full(50, 0.5)
+        assert ks_statistic_uniform(sample) >= 0.5
+
+    def test_all_zeros_statistic_one(self):
+        assert ks_statistic_uniform(np.zeros(10)) == pytest.approx(1.0)
+
+    def test_clamps_out_of_range(self):
+        # Values slightly outside [0, 1] (normalization overshoot) clip.
+        sample = np.array([-0.001, 0.25, 0.5, 0.75, 1.001])
+        d = ks_statistic_uniform(sample)
+        assert 0.0 <= d <= 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            ks_statistic_uniform([])
+
+    def test_weakly_uniform_reading(self):
+        rng = np.random.default_rng(2)
+        uniform = ks_test_uniform(rng.uniform(size=100))
+        clumped = ks_test_uniform(np.full(100, 0.9))
+        assert uniform.weakly_uniform()
+        assert not clumped.weakly_uniform()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=100)
+    )
+    def test_property_statistic_bounded(self, sample):
+        d = ks_statistic_uniform(sample)
+        assert 0.0 <= d <= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(30, 300), st.integers(0, 1000))
+    def test_property_uniform_samples_usually_pass(self, n, seed):
+        # n >= 30: P(D > 0.5) for a true uniform is ~exp(-2 n 0.25) < 1e-6,
+        # so the paper's 0.5 threshold is effectively never tripped.
+        rng = np.random.default_rng(seed)
+        result = ks_test_uniform(rng.uniform(size=n))
+        assert result.statistic < 0.5
+
+
+class TestTwoSample:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=80)
+        b = rng.normal(loc=0.5, size=60)
+        ours = ks_two_sample(a, b)
+        ref = scipy_stats.ks_2samp(a, b, method="asymp")
+        assert ours.statistic == pytest.approx(ref.statistic, abs=1e-12)
+
+    def test_identical_samples_zero(self):
+        a = np.linspace(0, 1, 30)
+        assert ks_two_sample(a, a).statistic == pytest.approx(0.0)
+
+    def test_disjoint_supports_one(self):
+        a = np.linspace(0, 1, 20)
+        b = np.linspace(5, 6, 20)
+        assert ks_two_sample(a, b).statistic == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=40)
+        b = rng.uniform(size=50)
+        assert ks_two_sample(a, b).statistic == pytest.approx(
+            ks_two_sample(b, a).statistic
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ks_two_sample([], [1.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(-10, 10, allow_nan=False), min_size=2, max_size=50),
+        st.lists(st.floats(-10, 10, allow_nan=False), min_size=2, max_size=50),
+    )
+    def test_property_bounded(self, a, b):
+        d = ks_two_sample(a, b).statistic
+        assert 0.0 <= d <= 1.0

@@ -1,0 +1,113 @@
+"""Tests for repro.stats.lhs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.distance import pairwise_distances
+from repro.stats.lhs import (
+    is_latin_hypercube,
+    latin_hypercube,
+    lhs_strata,
+    maximin_latin_hypercube,
+)
+
+
+class TestLatinHypercube:
+    def test_shape(self):
+        design = latin_hypercube(10, 4, rng=0)
+        assert design.shape == (10, 4)
+
+    def test_unit_cube(self):
+        design = latin_hypercube(16, 3, rng=1)
+        assert design.min() >= 0.0 and design.max() <= 1.0
+
+    def test_stratification_invariant(self):
+        design = latin_hypercube(12, 5, rng=2)
+        assert is_latin_hypercube(design)
+
+    def test_centered_points_at_stratum_midpoints(self):
+        n = 8
+        design = latin_hypercube(n, 2, rng=3, centered=True)
+        expected = (np.arange(n) + 0.5) / n
+        for d in range(2):
+            np.testing.assert_allclose(np.sort(design[:, d]), expected)
+
+    def test_deterministic_under_seed(self):
+        a = latin_hypercube(6, 3, rng=42)
+        b = latin_hypercube(6, 3, rng=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_single_sample(self):
+        design = latin_hypercube(1, 4, rng=0)
+        assert design.shape == (1, 4)
+        assert is_latin_hypercube(design)
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            latin_hypercube(0, 3)
+        with pytest.raises(ValueError):
+            latin_hypercube(3, 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(1, 30), d=st.integers(1, 8), seed=st.integers(0, 10_000))
+    def test_property_always_latin(self, n, d, seed):
+        design = latin_hypercube(n, d, rng=seed)
+        assert is_latin_hypercube(design)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 20), seed=st.integers(0, 1000))
+    def test_property_marginal_uniformity(self, n, seed):
+        # Every column's sorted values fall in successive strata.
+        design = latin_hypercube(n, 3, rng=seed)
+        for c in range(3):
+            sorted_col = np.sort(design[:, c])
+            lows = np.arange(n) / n
+            highs = (np.arange(n) + 1) / n
+            assert np.all(sorted_col >= lows) and np.all(sorted_col <= highs)
+
+
+class TestMaximin:
+    def test_still_latin(self):
+        design = maximin_latin_hypercube(10, 3, rng=0, n_candidates=8)
+        assert is_latin_hypercube(design)
+
+    def test_not_worse_than_single_draw(self):
+        # Maximin over candidates that include the single draw can't lose.
+        rng_seed = 7
+
+        def min_dist(design):
+            d = pairwise_distances(design)
+            np.fill_diagonal(d, np.inf)
+            return d.min()
+
+        single = latin_hypercube(8, 3, rng=rng_seed)
+        multi = maximin_latin_hypercube(8, 3, rng=rng_seed, n_candidates=16)
+        assert min_dist(multi) >= min_dist(single) - 1e-12
+
+    def test_single_sample_shortcut(self):
+        design = maximin_latin_hypercube(1, 2, rng=0)
+        assert design.shape == (1, 2)
+
+    def test_invalid_candidates_raise(self):
+        with pytest.raises(ValueError, match="n_candidates"):
+            maximin_latin_hypercube(4, 2, n_candidates=0)
+
+
+class TestHelpers:
+    def test_strata_boundaries(self):
+        np.testing.assert_allclose(lhs_strata(4), [0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_is_latin_rejects_clumped(self):
+        clumped = np.full((4, 2), 0.5)
+        assert not is_latin_hypercube(clumped)
+
+    def test_is_latin_rejects_out_of_cube(self):
+        design = latin_hypercube(4, 2, rng=0)
+        design[0, 0] = 1.5
+        assert not is_latin_hypercube(design)
+
+    def test_is_latin_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            is_latin_hypercube(np.zeros(4))

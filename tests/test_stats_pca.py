@@ -1,0 +1,162 @@
+"""Tests for repro.stats.pca."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.pca import PCA, pca_fit_transform
+
+
+def correlated_data(n=50, seed=0):
+    """Data with one dominant direction and small orthogonal noise."""
+    rng = np.random.default_rng(seed)
+    t = rng.normal(size=n)
+    x = np.column_stack([t, 2 * t + rng.normal(scale=0.01, size=n),
+                         rng.normal(scale=0.01, size=n)])
+    return x
+
+
+class TestPCAFit:
+    def test_full_rank_keeps_all_components(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(20, 4))
+        result = PCA().fit_transform(x)
+        assert result.n_components == 4
+        assert result.total_retained_ratio == pytest.approx(1.0)
+
+    def test_variance_cutoff_drops_noise_dims(self):
+        x = correlated_data()
+        result = PCA(variance=0.98).fit_transform(x)
+        assert result.n_components == 1
+
+    def test_n_components_fixed(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(15, 5))
+        result = PCA(n_components=2).fit_transform(x)
+        assert result.transformed.shape == (15, 2)
+        assert result.components.shape == (2, 5)
+
+    def test_explained_variance_descending(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(30, 6)) * np.array([10, 5, 3, 1, 0.5, 0.1])
+        result = PCA().fit_transform(x)
+        ev = result.explained_variance
+        assert np.all(np.diff(ev) <= 1e-12)
+
+    def test_transformed_variance_matches_explained(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(40, 5))
+        result = PCA().fit_transform(x)
+        sample_var = result.transformed.var(axis=0, ddof=1)
+        np.testing.assert_allclose(sample_var, result.explained_variance, rtol=1e-9)
+
+    def test_components_orthonormal(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(25, 5))
+        result = PCA().fit_transform(x)
+        gram = result.components @ result.components.T
+        np.testing.assert_allclose(gram, np.eye(result.n_components), atol=1e-9)
+
+    def test_total_variance_preserved(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(30, 4))
+        result = PCA().fit_transform(x)
+        np.testing.assert_allclose(
+            result.explained_variance.sum(),
+            x.var(axis=0, ddof=1).sum(),
+            rtol=1e-9,
+        )
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(20, 3))
+        result = PCA().fit_transform(x)
+        np.testing.assert_allclose(
+            result.inverse_transform(result.transformed), x, atol=1e-9
+        )
+
+    def test_transform_matches_fit_transform(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(20, 3))
+        result = PCA(n_components=2).fit_transform(x)
+        np.testing.assert_allclose(
+            result.transform(x), result.transformed, atol=1e-9
+        )
+
+    def test_degenerate_identical_rows(self):
+        x = np.ones((5, 3))
+        result = PCA(variance=0.98).fit_transform(x)
+        assert result.n_components == 1
+        np.testing.assert_allclose(result.explained_variance, 0.0, atol=1e-18)
+
+    def test_deterministic_sign_convention(self):
+        x = correlated_data(seed=9)
+        r1 = PCA(n_components=1).fit_transform(x)
+        r2 = PCA(n_components=1).fit_transform(x.copy())
+        np.testing.assert_array_equal(r1.components, r2.components)
+        # Largest-magnitude loading is positive.
+        load = r1.components[0]
+        assert load[np.argmax(np.abs(load))] > 0
+
+
+class TestPCAValidation:
+    def test_both_targets_raise(self):
+        with pytest.raises(ValueError, match="not both"):
+            PCA(n_components=2, variance=0.9)
+
+    def test_bad_variance_raises(self):
+        with pytest.raises(ValueError, match="variance"):
+            PCA(variance=1.5)
+
+    def test_zero_components_raise(self):
+        with pytest.raises(ValueError, match="n_components"):
+            PCA(n_components=0)
+
+    def test_single_sample_raises(self):
+        with pytest.raises(ValueError, match="two samples"):
+            PCA().fit_transform(np.zeros((1, 3)))
+
+    def test_1d_raises(self):
+        with pytest.raises(ValueError, match="2-D"):
+            PCA().fit_transform(np.zeros(5))
+
+
+class TestPCAFunctional:
+    def test_returns_paper_style_tuple(self):
+        x = correlated_data(seed=10)
+        transformed, d, result = pca_fit_transform(x, variance=0.98)
+        assert transformed.shape == (x.shape[0], d)
+        assert d == result.n_components
+
+    def test_variance_target_met(self):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(40, 8)) * np.linspace(1, 8, 8)
+        _, _, result = pca_fit_transform(x, variance=0.98)
+        assert result.total_retained_ratio >= 0.98 - 1e-9
+
+
+class TestPCAProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 500), target=st.floats(0.5, 1.0))
+    def test_property_cutoff_minimal(self, seed, target):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(20, 5))
+        _, d, result = pca_fit_transform(x, variance=target)
+        assert result.total_retained_ratio >= target - 1e-9
+        if d > 1:
+            # Dropping the last kept component must fall below the target.
+            ratio_without_last = result.explained_variance_ratio[:-1].sum()
+            assert ratio_without_last < target
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_property_rotation_preserves_total_variance(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(15, 4))
+        result = PCA().fit_transform(x)
+        np.testing.assert_allclose(
+            result.transformed.var(axis=0, ddof=1).sum(),
+            x.var(axis=0, ddof=1).sum(),
+            rtol=1e-8,
+        )

@@ -1,0 +1,153 @@
+"""Tests for repro.stats.preprocessing (Eq. 9-10 normalization)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.stats.preprocessing import (
+    clip_unit_interval,
+    joint_minmax_normalize,
+    minmax_normalize,
+    zscore_normalize,
+)
+
+
+def matrices(min_rows=2, max_rows=10, cols=4):
+    return arrays(
+        float,
+        st.tuples(st.integers(min_rows, max_rows), st.just(cols)),
+        elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+    )
+
+
+class TestMinmaxNormalize:
+    def test_output_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(scale=1e4, size=(20, 6))
+        out = minmax_normalize(x)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_extremes_map_to_bounds(self):
+        x = np.array([[0.0], [5.0], [10.0]])
+        out = minmax_normalize(x)
+        assert out[0, 0] == 0.0
+        assert out[2, 0] == 1.0
+        assert out[1, 0] == pytest.approx(0.5)
+
+    def test_constant_column_fills_half(self):
+        x = np.array([[3.0, 1.0], [3.0, 2.0]])
+        out = minmax_normalize(x)
+        np.testing.assert_array_equal(out[:, 0], [0.5, 0.5])
+
+    def test_explicit_bounds(self):
+        x = np.array([[5.0], [10.0]])
+        out = minmax_normalize(x, bounds=(np.array([0.0]), np.array([20.0])))
+        np.testing.assert_allclose(out[:, 0], [0.25, 0.5])
+
+    def test_bad_bounds_raise(self):
+        x = np.array([[1.0], [2.0]])
+        with pytest.raises(ValueError, match="max >= min"):
+            minmax_normalize(x, bounds=(np.array([5.0]), np.array([0.0])))
+
+    def test_axis_1(self):
+        x = np.array([[0.0, 10.0], [5.0, 10.0]])
+        out = minmax_normalize(x, axis=1)
+        np.testing.assert_allclose(out[0], [0.0, 1.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            minmax_normalize(np.array([[np.nan, 1.0]]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrices())
+    def test_property_bounded(self, x):
+        out = minmax_normalize(x)
+        assert np.all(out >= -1e-12) and np.all(out <= 1 + 1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrices())
+    def test_property_order_preserving(self, x):
+        # Monotone (non-strict): normalization never inverts an ordering,
+        # though float rounding may merge near-ties.
+        out = minmax_normalize(x)
+        for c in range(x.shape[1]):
+            order = np.argsort(x[:, c], kind="stable")
+            assert np.all(np.diff(out[order, c]) >= -1e-12)
+
+
+class TestJointMinmaxNormalize:
+    def test_preserves_relative_ranges(self):
+        # Paper's example: A in [0, 10K], B in [0, 100K] must NOT both hit 1.
+        a = np.array([[0.0], [10_000.0]])
+        b = np.array([[0.0], [100_000.0]])
+        na, nb = joint_minmax_normalize(a, b)
+        assert nb.max() == pytest.approx(1.0)
+        assert na.max() == pytest.approx(0.1)
+
+    def test_isolated_normalization_differs(self):
+        a = np.array([[0.0], [10.0]])
+        b = np.array([[0.0], [100.0]])
+        na_joint, _ = joint_minmax_normalize(a, b)
+        na_alone = minmax_normalize(a)
+        assert na_alone.max() == pytest.approx(1.0)
+        assert na_joint.max() == pytest.approx(0.1)
+
+    def test_single_matrix_equals_plain(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-5, 5, size=(8, 3))
+        (joint,) = joint_minmax_normalize(x)
+        np.testing.assert_allclose(joint, minmax_normalize(x))
+
+    def test_three_matrices(self):
+        mats = [np.full((2, 2), v) for v in (0.0, 5.0, 10.0)]
+        n0, n1, n2 = joint_minmax_normalize(*mats)
+        assert n0.max() == 0.0
+        assert n1.max() == pytest.approx(0.5)
+        assert n2.max() == 1.0
+
+    def test_feature_mismatch_raises(self):
+        with pytest.raises(ValueError, match="features"):
+            joint_minmax_normalize(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_empty_call_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            joint_minmax_normalize()
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrices(), matrices())
+    def test_property_joint_bounds(self, a, b):
+        na, nb = joint_minmax_normalize(a, b)
+        stacked = np.vstack([na, nb])
+        assert np.all(stacked >= -1e-12) and np.all(stacked <= 1 + 1e-12)
+        # Each non-constant column of the concatenation must touch 0 and 1.
+        raw = np.vstack([a, b])
+        for c in range(raw.shape[1]):
+            if raw[:, c].max() > raw[:, c].min():
+                assert stacked[:, c].min() == pytest.approx(0.0, abs=1e-9)
+                assert stacked[:, c].max() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestZscoreNormalize:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(loc=100, scale=20, size=(50, 3))
+        out = zscore_normalize(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_zeroed(self):
+        x = np.array([[5.0, 1.0], [5.0, 3.0]])
+        out = zscore_normalize(x)
+        np.testing.assert_array_equal(out[:, 0], [0.0, 0.0])
+
+
+class TestClipUnitInterval:
+    def test_clips_both_sides(self):
+        out = clip_unit_interval(np.array([-0.5, 0.3, 1.7]))
+        np.testing.assert_allclose(out, [0.0, 0.3, 1.0])
+
+    def test_identity_inside(self):
+        x = np.array([0.0, 0.25, 1.0])
+        np.testing.assert_array_equal(clip_unit_interval(x), x)

@@ -1,0 +1,143 @@
+"""Tests for repro.stats.silhouette (Eq. 1-5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.distance import pairwise_distances
+from repro.stats.silhouette import (
+    silhouette_per_cluster,
+    silhouette_samples,
+    silhouette_score,
+)
+
+
+def two_blobs(sep, n_per=10, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(scale=0.3, size=(n_per, 2))
+    b = rng.normal(scale=0.3, size=(n_per, 2)) + [sep, 0.0]
+    x = np.vstack([a, b])
+    labels = np.repeat([0, 1], n_per)
+    return x, labels
+
+
+def manual_silhouette(x, labels, idx):
+    """Direct Eq. 1-3 computation for a single point."""
+    d = pairwise_distances(x)
+    own = labels[idx]
+    same = np.where((labels == own) & (np.arange(len(labels)) != idx))[0]
+    eta = d[idx, same].mean() if same.size else 0.0
+    lams = [
+        d[idx, labels == c].mean() for c in np.unique(labels) if c != own
+    ]
+    lam = min(lams)
+    if same.size == 0:
+        return 0.0
+    return (lam - eta) / max(lam, eta)
+
+
+class TestSilhouetteSamples:
+    def test_matches_manual_equations(self):
+        x, labels = two_blobs(sep=5.0)
+        values = silhouette_samples(x, labels)
+        for idx in range(len(labels)):
+            assert values[idx] == pytest.approx(manual_silhouette(x, labels, idx))
+
+    def test_well_separated_blobs_near_one(self):
+        x, labels = two_blobs(sep=100.0)
+        values = silhouette_samples(x, labels)
+        assert values.min() > 0.9
+
+    def test_single_cluster_is_zero(self):
+        x, _ = two_blobs(sep=5.0)
+        values = silhouette_samples(x, np.zeros(len(x), dtype=int))
+        np.testing.assert_array_equal(values, 0.0)
+
+    def test_singleton_cluster_gets_zero(self):
+        x = np.array([[0.0, 0.0], [0.1, 0.0], [10.0, 0.0]])
+        labels = np.array([0, 0, 1])
+        values = silhouette_samples(x, labels)
+        assert values[2] == 0.0
+        assert values[0] > 0.0
+
+    def test_values_bounded(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(30, 4))
+        labels = rng.integers(0, 3, size=30)
+        # Ensure all three labels present.
+        labels[:3] = [0, 1, 2]
+        values = silhouette_samples(x, labels)
+        assert np.all(values >= -1.0) and np.all(values <= 1.0)
+
+    def test_precomputed_distances_match(self):
+        x, labels = two_blobs(sep=3.0)
+        d = pairwise_distances(x)
+        np.testing.assert_allclose(
+            silhouette_samples(x, labels),
+            silhouette_samples(x, labels, precomputed_distances=d),
+        )
+
+    def test_bad_label_shape_raises(self):
+        with pytest.raises(ValueError, match="labels shape"):
+            silhouette_samples(np.zeros((4, 2)), np.zeros(3, dtype=int))
+
+    def test_bad_distance_shape_raises(self):
+        x, labels = two_blobs(sep=2.0, n_per=3)
+        with pytest.raises(ValueError, match="distance matrix"):
+            silhouette_samples(x, labels, precomputed_distances=np.zeros((2, 2)))
+
+
+class TestSilhouetteAggregates:
+    def test_per_cluster_keys(self):
+        x, labels = two_blobs(sep=5.0)
+        per = silhouette_per_cluster(x, labels)
+        assert set(per) == {0, 1}
+
+    def test_paper_eq5_weights_clusters_equally(self):
+        # Unbalanced clusters: Eq. 5 average differs from per-sample mean.
+        rng = np.random.default_rng(4)
+        a = rng.normal(scale=0.1, size=(20, 2))
+        b = rng.normal(scale=2.0, size=(3, 2)) + [6.0, 0.0]
+        x = np.vstack([a, b])
+        labels = np.array([0] * 20 + [1] * 3)
+        per_cluster = silhouette_score(x, labels, per_cluster=True)
+        per_sample = silhouette_score(x, labels, per_cluster=False)
+        per = silhouette_per_cluster(x, labels)
+        assert per_cluster == pytest.approx((per[0] + per[1]) / 2)
+        values = silhouette_samples(x, labels)
+        assert per_sample == pytest.approx(values.mean())
+        assert per_cluster != pytest.approx(per_sample)
+
+    def test_single_cluster_scores_zero(self):
+        x, _ = two_blobs(sep=5.0)
+        assert silhouette_score(x, np.zeros(len(x), dtype=int)) == 0.0
+
+    def test_separation_increases_score(self):
+        scores = []
+        for sep in (0.5, 2.0, 10.0):
+            x, labels = two_blobs(sep=sep, seed=1)
+            scores.append(silhouette_score(x, labels))
+        assert scores[0] < scores[1] < scores[2]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 500), k=st.integers(2, 4))
+    def test_property_score_bounded(self, seed, k):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(16, 3))
+        labels = rng.integers(0, k, size=16)
+        labels[:k] = np.arange(k)
+        score = silhouette_score(x, labels)
+        assert -1.0 <= score <= 1.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_property_translation_invariant(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(12, 3))
+        labels = rng.integers(0, 2, size=12)
+        labels[:2] = [0, 1]
+        shifted = x + 37.5
+        assert silhouette_score(x, labels) == pytest.approx(
+            silhouette_score(shifted, labels)
+        )

@@ -1,0 +1,202 @@
+"""Per-suite behavioural contracts.
+
+Each Table III suite model's docstring makes claims about its members'
+behaviour ("mcf chases pointers over a huge working set", "bw_mem is a
+pure stream", ...). These tests pin each claim to a measurable trace or
+counter property, so a future re-tuning of the models cannot silently
+break the character that produces the paper's Fig. 3 shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perf.session import PerfSession
+from repro.workloads import load_suite
+from repro.workloads.analysis import profile_workload
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def session():
+    return PerfSession(n_intervals=8, ops_per_interval=600,
+                       warmup_intervals=3, warmup_boost=5, seed=13)
+
+
+def profile(suite_name, workload_name):
+    suite = load_suite(suite_name)
+    return profile_workload(suite.workload(workload_name),
+                            n_intervals=6, ops_per_interval=400, seed=2)
+
+
+class TestSpec17Contracts:
+    def test_mcf_is_pointer_heavy_and_huge(self):
+        p = profile("spec17", "505.mcf_r")
+        # Short profiling traces bound the touched-byte footprint, so the
+        # "huge" claim is checked via page reach and via the model spec.
+        assert p.page_footprint > 1000
+        assert p.sequential_fraction < 0.35
+        main = load_suite("spec17").workload("505.mcf_r").phases[1]
+        assert max(k.params.get("working_set", 0)
+                   for k in main.kernels) >= 48 * MB
+
+    def test_lbm_is_streaming(self):
+        p = profile("spec17", "519.lbm_r")
+        assert p.sequential_fraction > 0.6
+
+    def test_exchange2_is_tiny_and_branchy(self):
+        p = profile("spec17", "548.exchange2_r")
+        assert p.footprint_bytes < 2 * MB
+        assert p.branch_per_op > 0.4
+
+    def test_speed_variant_bigger_than_rate(self):
+        suite = load_suite("spec17")
+
+        def main_ws(name):
+            main = suite.workload(name).phases[1]
+            return max(k.params.get("working_set", 0)
+                       for k in main.kernels)
+
+        assert main_ws("605.mcf_s") >= 3 * main_ws("505.mcf_r")
+
+    def test_speed_variant_not_a_twin(self, session):
+        suite = load_suite("spec17")
+        rate = session.run_workload(suite.workload("502.gcc_r"))
+        speed = session.run_workload(suite.workload("602.gcc_s"))
+        # Beyond scale: if _s were a pure rescale of _r, the per-event
+        # ratios would all match; the twist must break that.
+        events = tuple(rate.totals)
+        ratios = np.array([
+            speed.totals[e] / max(rate.totals[e], 1.0) for e in events
+        ])
+        ratios = ratios[ratios > 0]
+        assert np.std(ratios) / np.mean(ratios) > 0.15
+
+    def test_all_families_have_two_phases(self):
+        for w in load_suite("spec17"):
+            assert len(w.phases) == 2
+            assert w.phases[0].name == "setup"
+
+
+class TestLMbenchContracts:
+    def test_lat_mem_rd_llc_hostile_tlb_mild(self, session):
+        suite = load_suite("lmbench")
+        m = session.run_workload(suite.workload("lat_mem_rd"))
+        accesses = m.totals["dTLB-loads"] + m.totals["dTLB-stores"]
+        llc_miss_rate = (m.totals["LLC-load-misses"]
+                         + m.totals["LLC-store-misses"]) / accesses
+        dtlb_miss_rate = (m.totals["dTLB-load-misses"]
+                          + m.totals["dTLB-store-misses"]) / accesses
+        assert llc_miss_rate > 0.5      # misses nearly every access
+        assert dtlb_miss_rate < 0.2     # but pages turn over slowly
+
+    def test_lat_mmap_is_the_tlb_extreme(self, session):
+        suite = load_suite("lmbench")
+        walks = {}
+        for name in ("lat_mmap", "bw_mem", "lat_syscall", "bw_pipe"):
+            m = session.run_workload(suite.workload(name))
+            walks[name] = m.totals["dtlb_walk_pending"]
+        assert walks["lat_mmap"] > 10 * max(walks["bw_mem"],
+                                            walks["lat_syscall"],
+                                            walks["bw_pipe"], 1.0)
+
+    def test_bw_pipe_is_l2_resident(self):
+        p = profile("lmbench", "bw_pipe")
+        assert p.footprint_bytes <= 256 * KB
+
+    def test_lat_pagefault_faults_forever(self, session):
+        suite = load_suite("lmbench")
+        m = session.run_workload(suite.workload("lat_pagefault"))
+        others = session.run_workload(suite.workload("lat_syscall"))
+        assert m.totals["page-faults"] > 50 * max(
+            others.totals["page-faults"], 1.0
+        )
+
+    def test_microbenchmarks_are_flat(self, session):
+        # Single-phase models: the series of a steady microbenchmark has
+        # low relative variation (excluding the fresh-page faulters whose
+        # footprint grows monotonically).
+        suite = load_suite("lmbench")
+        m = session.run_workload(suite.workload("bw_pipe"))
+        series = m.series["cpu-cycles"]
+        assert np.std(series) / np.mean(series) < 0.25
+
+
+class TestLigraContracts:
+    def test_all_share_the_loader(self):
+        suite = load_suite("ligra")
+        loaders = {w.phases[0].name for w in suite}
+        assert loaders == {"load_graph"}
+
+    def test_two_family_structure(self, session):
+        # Traversal family (bfs-like) vs sweep family (pagerank-like):
+        # within-family counter distance much smaller than cross-family.
+        suite = load_suite("ligra")
+        m = session.run_suite(suite)
+        from repro.stats.preprocessing import minmax_normalize
+
+        x = minmax_normalize(m.matrix)
+        idx = {n: i for i, n in enumerate(m.workload_names)}
+
+        def dist(a, b):
+            return float(np.linalg.norm(x[idx[a]] - x[idx[b]]))
+
+        within = dist("bfs", "components")
+        cross = dist("bfs", "pagerank")
+        assert cross > 2 * within
+
+
+class TestParsecSgxContracts:
+    def test_canneal_cache_hostile(self, session):
+        suite = load_suite("parsec")
+        canneal = session.run_workload(suite.workload("canneal"))
+        swaptions = session.run_workload(suite.workload("swaptions"))
+
+        def miss_rate(m):
+            acc = m.totals["dTLB-loads"] + m.totals["dTLB-stores"]
+            return (m.totals["LLC-load-misses"]
+                    + m.totals["LLC-store-misses"]) / acc
+
+        assert miss_rate(canneal) > 5 * max(miss_rate(swaptions), 1e-6)
+
+    def test_swaptions_compute_bound(self, session):
+        # Compute-bound = tiny cache-resident footprint, negligible DRAM
+        # traffic, high ALU density in the model.
+        suite = load_suite("parsec")
+        m = session.run_workload(suite.workload("swaptions"))
+        accesses = m.totals["dTLB-loads"] + m.totals["dTLB-stores"]
+        llc_miss_rate = (m.totals["LLC-load-misses"]
+                         + m.totals["LLC-store-misses"]) / accesses
+        assert llc_miss_rate < 0.05
+        phase = suite.workload("swaptions").phases[0]
+        assert phase.alu_per_op >= 10
+
+    def test_parsec_phases_change_write_mix(self):
+        # vips: load -> convolve -> write_out; store fraction rises at
+        # the end (0.45 -> 0.35 -> 0.8 by construction).
+        suite = load_suite("parsec")
+        vips = suite.workload("vips")
+        intervals = list(vips.intervals(12, 400, seed=1))
+        first = np.mean([iv.is_write.mean() for iv in intervals[:3]])
+        last = np.mean([iv.is_write.mean() for iv in intervals[-3:]])
+        assert last > first + 0.2
+
+    def test_sgxgauge_bfs_intensity_swings(self):
+        # bfs frontier phases change operation intensity 0.6 -> 1.4.
+        suite = load_suite("sgxgauge")
+        intervals = list(suite.workload("bfs").intervals(20, 400, seed=1))
+        ops = [iv.n_memory_ops for iv in intervals]
+        assert max(ops) > 1.5 * min(ops)
+
+
+class TestNbenchContracts:
+    def test_all_single_phase_kernels(self):
+        suite = load_suite("nbench")
+        assert all(len(w.phases) == 1 for w in suite)
+
+    def test_every_footprint_cache_scale(self):
+        for w in load_suite("nbench"):
+            p = profile_workload(w, n_intervals=6, ops_per_interval=400,
+                                 seed=2)
+            assert p.footprint_bytes < 4 * MB, w.name

@@ -1,0 +1,116 @@
+"""Tests for repro.workloads.analysis (trace profiling)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import load_suite
+from repro.workloads.analysis import (
+    footprint_table,
+    profile_intervals,
+    profile_workload,
+    reuse_distances,
+)
+from repro.workloads.base import KernelSpec, Phase, Workload
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def single_kernel_workload(kernel, params, **phase_kwargs):
+    return Workload("w", (
+        Phase("only", 1.0, (KernelSpec(kernel, params=params),),
+              **phase_kwargs),
+    ))
+
+
+class TestReuseDistances:
+    def test_no_reuse_empty(self):
+        assert reuse_distances(np.arange(100)).size == 0
+
+    def test_immediate_reuse_distance_zero(self):
+        d = reuse_distances(np.array([1, 1, 2, 2]))
+        np.testing.assert_array_equal(d, [0, 0])
+
+    def test_stack_distance_counts_distinct(self):
+        # 1, 2, 3, 1 -> reuse of 1 skips two distinct lines.
+        d = reuse_distances(np.array([1, 2, 3, 1]))
+        np.testing.assert_array_equal(d, [2])
+
+    def test_repeated_scan(self):
+        # Scanning [0..9] twice: every reuse has distance 9.
+        trace = np.tile(np.arange(10), 2)
+        d = reuse_distances(trace)
+        assert np.all(d == 9)
+
+    def test_sampling_cap(self):
+        trace = np.zeros(50_000, dtype=int)
+        d = reuse_distances(trace, max_samples=1000)
+        assert d.size == 999
+
+
+class TestProfileIntervals:
+    def test_sequential_stream_profile(self):
+        w = single_kernel_workload("sequential_stream",
+                                   {"working_set": MB})
+        p = profile_workload(w, n_intervals=4, ops_per_interval=400)
+        assert p.sequential_fraction > 0.9
+        assert p.page_change_rate < 0.1
+        assert p.n_accesses == 1600
+
+    def test_page_stride_profile(self):
+        w = single_kernel_workload("page_stride",
+                                   {"working_set": 64 * MB})
+        p = profile_workload(w, n_intervals=4, ops_per_interval=400)
+        assert p.page_change_rate > 0.95
+        assert p.page_footprint >= 1500
+
+    def test_random_uniform_footprint(self):
+        w = single_kernel_workload("random_uniform",
+                                   {"working_set": 2 * MB})
+        p = profile_workload(w, n_intervals=4, ops_per_interval=500)
+        assert 64 * KB < p.footprint_bytes <= 2 * MB
+        assert p.sequential_fraction < 0.3
+
+    def test_store_fraction_matches_phase(self):
+        w = single_kernel_workload("random_uniform",
+                                   {"working_set": MB},
+                                   write_fraction=0.8)
+        p = profile_workload(w, n_intervals=4, ops_per_interval=800)
+        assert 0.7 < p.store_fraction < 0.9
+
+    def test_branch_per_op(self):
+        w = single_kernel_workload("random_uniform", {"working_set": MB},
+                                   branches_per_op=0.5)
+        p = profile_workload(w, n_intervals=2, ops_per_interval=400)
+        assert p.branch_per_op == pytest.approx(0.5, abs=0.05)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no intervals"):
+            profile_intervals([])
+
+    def test_hot_cold_reuse(self):
+        w = single_kernel_workload(
+            "hot_cold", {"hot_bytes": 8 * KB, "cold_bytes": 8 * MB,
+                         "hot_fraction": 0.95},
+        )
+        p = profile_workload(w, n_intervals=4, ops_per_interval=600)
+        # Hot lines are re-touched constantly: reuse distances small.
+        assert p.median_reuse_distance < 200
+
+
+class TestFootprintTable:
+    def test_lmbench_claims_hold(self):
+        suite = load_suite("lmbench")
+        text = footprint_table(suite, n_intervals=4, ops_per_interval=300)
+        assert "lat_mem_rd" in text
+        # Spot-check the claims encoded in the suite docstrings.
+        mmap = profile_workload(suite.workload("lat_mmap"), 4, 300)
+        pipe = profile_workload(suite.workload("bw_pipe"), 4, 300)
+        assert mmap.page_change_rate > 0.9       # TLB torture
+        assert pipe.footprint_bytes <= 256 * KB  # L2-resident
+
+    def test_nbench_small_footprints(self):
+        suite = load_suite("nbench")
+        for w in suite:
+            p = profile_workload(w, n_intervals=4, ops_per_interval=300)
+            assert p.footprint_bytes < 4 * MB

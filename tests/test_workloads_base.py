@@ -1,0 +1,226 @@
+"""Tests for repro.workloads.base and trace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.base import KernelSpec, Phase, Suite, Workload
+from repro.workloads.trace import TraceInterval, merge_intervals
+
+MB = 1024 * 1024
+
+
+def simple_phase(name="p", weight=1.0, **kwargs):
+    return Phase(
+        name=name,
+        weight=weight,
+        kernels=(KernelSpec("random_uniform", params={"working_set": MB}),),
+        **kwargs,
+    )
+
+
+def two_phase_workload():
+    return Workload("w", (
+        simple_phase("a", weight=0.5),
+        Phase("b", weight=0.5,
+              kernels=(KernelSpec("sequential_stream",
+                                  params={"working_set": 4 * MB}),),
+              write_fraction=0.8, branch_model="loop",
+              branch_params={"body": 4}, branches_per_op=0.2),
+    ))
+
+
+class TestTraceInterval:
+    def _make(self, n=10, **overrides):
+        kwargs = dict(
+            addresses=np.arange(n) * 64,
+            is_write=np.zeros(n, dtype=bool),
+            branch_sites=np.zeros(2, dtype=int),
+            branch_taken=np.zeros(2, dtype=bool),
+            n_instructions=n + 2 + 30,
+        )
+        kwargs.update(overrides)
+        return TraceInterval(**kwargs)
+
+    def test_counts(self):
+        iv = self._make()
+        assert iv.n_memory_ops == 10
+        assert iv.n_branches == 2
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="addresses/is_write"):
+            self._make(is_write=np.zeros(5, dtype=bool))
+        with pytest.raises(ValueError, match="branch_sites/branch_taken"):
+            self._make(branch_taken=np.zeros(3, dtype=bool))
+
+    def test_negative_address_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            self._make(addresses=np.array([-1] + [0] * 9))
+
+    def test_instruction_floor(self):
+        with pytest.raises(ValueError, match="n_instructions"):
+            self._make(n_instructions=5)
+
+    def test_merge(self):
+        a = self._make()
+        b = self._make()
+        merged = merge_intervals([a, b], phase_name="m")
+        assert merged.n_memory_ops == 20
+        assert merged.n_instructions == a.n_instructions * 2
+        assert merged.phase_name == "m"
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError, match="nothing to merge"):
+            merge_intervals([])
+
+
+class TestPhaseValidation:
+    def test_requires_kernels(self):
+        with pytest.raises(ValueError, match="no kernels"):
+            Phase(name="p", weight=1.0, kernels=())
+
+    def test_write_fraction_range(self):
+        with pytest.raises(ValueError, match="write_fraction"):
+            simple_phase(write_fraction=1.5)
+
+    def test_negative_ratios(self):
+        with pytest.raises(ValueError, match="ratios"):
+            simple_phase(branches_per_op=-0.1)
+
+    def test_zero_weight(self):
+        with pytest.raises(ValueError, match="phase weight"):
+            simple_phase(weight=0)
+
+    def test_kernel_weight(self):
+        with pytest.raises(ValueError, match="kernel weight"):
+            KernelSpec("random_uniform", weight=0)
+
+    def test_intensity_positive(self):
+        with pytest.raises(ValueError, match="intensity"):
+            simple_phase(intensity=0)
+
+
+class TestWorkload:
+    def test_requires_phases(self):
+        with pytest.raises(ValueError, match="no phases"):
+            Workload("w", ())
+
+    def test_phase_schedule_proportions(self):
+        w = Workload("w", (simple_phase("a", 0.25), simple_phase("b", 0.75)))
+        sched = w.phase_schedule(40)
+        assert len(sched) == 40
+        assert sched.count(0) == 10
+        assert sched.count(1) == 30
+        # Contiguous: once phase 1 starts, phase 0 never returns.
+        assert sched == sorted(sched)
+
+    def test_schedule_every_phase_represented(self):
+        w = Workload("w", tuple(simple_phase(str(i), 1.0) for i in range(4)))
+        sched = w.phase_schedule(10)
+        assert set(sched) == {0, 1, 2, 3}
+
+    def test_schedule_short_run(self):
+        w = Workload("w", (simple_phase("a"), simple_phase("b")))
+        assert w.phase_schedule(1) == [0]
+
+    def test_intervals_deterministic(self):
+        w = two_phase_workload()
+        a = list(w.intervals(6, 200, seed=3))
+        b = list(w.intervals(6, 200, seed=3))
+        for ia, ib in zip(a, b):
+            np.testing.assert_array_equal(ia.addresses, ib.addresses)
+            np.testing.assert_array_equal(ia.branch_taken, ib.branch_taken)
+
+    def test_different_seeds_differ(self):
+        w = two_phase_workload()
+        a = next(iter(w.intervals(1, 200, seed=1)))
+        b = next(iter(w.intervals(1, 200, seed=2)))
+        assert not np.array_equal(a.addresses, b.addresses)
+
+    def test_interval_sizes(self):
+        w = two_phase_workload()
+        for iv in w.intervals(4, 300, seed=0):
+            assert iv.n_memory_ops == 300
+            assert iv.n_instructions >= iv.n_memory_ops + iv.n_branches
+
+    def test_phase_names_follow_schedule(self):
+        w = two_phase_workload()
+        names = [iv.phase_name for iv in w.intervals(8, 100, seed=0)]
+        assert names[:4] == ["a"] * 4
+        assert names[4:] == ["b"] * 4
+
+    def test_phase_behaviour_differs(self):
+        w = two_phase_workload()
+        ivs = list(w.intervals(8, 500, seed=0))
+        early_writes = ivs[0].is_write.mean()
+        late_writes = ivs[-1].is_write.mean()
+        assert late_writes > early_writes + 0.2  # 0.3 vs 0.8 write fraction
+
+    def test_intensity_scales_ops(self):
+        w = Workload("w", (simple_phase("a", intensity=2.0),))
+        iv = next(iter(w.intervals(1, 100, seed=0)))
+        assert iv.n_memory_ops == 200
+
+    def test_regions_disjoint_across_workloads(self):
+        w1 = Workload("alpha", (simple_phase(),))
+        w2 = Workload("beta", (simple_phase(),))
+        a = next(iter(w1.intervals(1, 500, seed=0)))
+        b = next(iter(w2.intervals(1, 500, seed=0)))
+        # Address regions are separated by the name-hash placement.
+        assert np.intersect1d(a.addresses >> 30, b.addresses >> 30).size == 0
+
+    def test_bad_args(self):
+        w = two_phase_workload()
+        with pytest.raises(ValueError, match="n_intervals"):
+            w.phase_schedule(0)
+        with pytest.raises(ValueError, match="ops_per_interval"):
+            list(w.intervals(2, 0))
+
+    @settings(max_examples=15, deadline=None)
+    @given(n_intervals=st.integers(1, 60), seed=st.integers(0, 100))
+    def test_property_schedule_lengths(self, n_intervals, seed):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 5))
+        weights = rng.uniform(0.1, 1.0, size=k)
+        w = Workload(
+            "w", tuple(simple_phase(str(i), float(weights[i]))
+                       for i in range(k))
+        )
+        sched = w.phase_schedule(n_intervals)
+        assert len(sched) == n_intervals
+        assert all(0 <= s < k for s in sched)
+        assert sched == sorted(sched)
+
+
+class TestSuite:
+    def test_duplicate_names_rejected(self):
+        w = two_phase_workload()
+        with pytest.raises(ValueError, match="duplicate"):
+            Suite(name="s", workloads=(w, w))
+
+    def test_lookup(self):
+        w = two_phase_workload()
+        s = Suite(name="s", workloads=(w,))
+        assert s.workload("w") is w
+        with pytest.raises(KeyError):
+            s.workload("missing")
+
+    def test_subset(self):
+        ws = tuple(
+            Workload(f"w{i}", (simple_phase(),)) for i in range(5)
+        )
+        s = Suite(name="s", workloads=ws)
+        sub = s.subset(["w3", "w1"])
+        assert [w.name for w in sub] == ["w3", "w1"]
+        assert sub.name == "s-subset"
+
+    def test_len_iter(self):
+        ws = tuple(Workload(f"w{i}", (simple_phase(),)) for i in range(3))
+        s = Suite(name="s", workloads=ws)
+        assert len(s) == 3
+        assert [w.name for w in s] == ["w0", "w1", "w2"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no workloads"):
+            Suite(name="s", workloads=())

@@ -1,0 +1,157 @@
+"""Tests for the six Table III suite models."""
+
+import numpy as np
+import pytest
+
+from repro.perf.session import PerfSession
+from repro.workloads import available_suites, load_all_suites, load_suite
+
+EXPECTED_SIZES = {
+    "parsec": 13,
+    "spec17": 43,
+    "ligra": 8,
+    "lmbench": 10,
+    "nbench": 10,
+    "sgxgauge": 8,
+}
+
+
+class TestRegistry:
+    def test_available_suites(self):
+        assert set(available_suites()) == set(EXPECTED_SIZES)
+
+    @pytest.mark.parametrize("name,size", sorted(EXPECTED_SIZES.items()))
+    def test_suite_sizes(self, name, size):
+        assert len(load_suite(name)) == size
+
+    def test_case_insensitive_and_aliases(self):
+        assert load_suite("PARSEC").name == "parsec"
+        assert load_suite("SPEC'17").name == "spec17"
+        assert load_suite("spec2017").name == "spec17"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown suite"):
+            load_suite("splash2")
+
+    def test_load_all(self):
+        suites = load_all_suites()
+        assert set(suites) == set(EXPECTED_SIZES)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SIZES))
+    def test_workload_names_unique_and_nonempty(self, name):
+        suite = load_suite(name)
+        names = [w.name for w in suite]
+        assert len(set(names)) == len(names)
+        assert all(names)
+
+    def test_spec17_has_rate_and_speed(self):
+        names = [w.name for w in load_suite("spec17")]
+        assert "505.mcf_r" in names
+        assert "605.mcf_s" in names
+        rate = [n for n in names if n.endswith("_r")]
+        speed = [n for n in names if n.endswith("_s")]
+        assert len(rate) == 23
+        assert len(speed) == 20
+
+    def test_fig1_workloads_exist_in_sgxgauge(self):
+        # Fig. 1 normalizes LLC-miss trends of these five by name.
+        suite = load_suite("sgxgauge")
+        for name in ("pagerank", "hashjoin", "bfs", "btree", "openssl"):
+            assert suite.workload(name) is not None
+
+
+class TestSuiteTraces:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SIZES))
+    def test_every_workload_generates_valid_intervals(self, name):
+        suite = load_suite(name)
+        for w in suite:
+            intervals = list(w.intervals(4, 200, seed=1))
+            assert len(intervals) == 4
+            for iv in intervals:
+                assert iv.n_memory_ops > 0
+                assert np.all(iv.addresses >= 0)
+
+    def test_ligra_workloads_share_loader_phase(self):
+        suite = load_suite("ligra")
+        first_phases = {w.phases[0].name for w in suite}
+        assert first_phases == {"load_graph"}
+
+    def test_lmbench_members_are_single_phase(self):
+        suite = load_suite("lmbench")
+        assert all(len(w.phases) == 1 for w in suite)
+
+    def test_parsec_members_are_multi_phase(self):
+        suite = load_suite("parsec")
+        multi = sum(len(w.phases) >= 2 for w in suite)
+        assert multi >= 12  # all but swaptions
+
+
+class TestSuiteCounterStructure:
+    """Coarse behavioural checks on the measured counters -- the
+    qualitative properties the suite models are built to express."""
+
+    @pytest.fixture(scope="class")
+    def session(self):
+        # Generous warmup: steady-state behaviour, not cold-start noise.
+        return PerfSession(n_intervals=12, ops_per_interval=1200,
+                           warmup_intervals=4, seed=11)
+
+    @pytest.fixture(scope="class")
+    def lmbench_m(self, session):
+        return session.run_suite(load_suite("lmbench"))
+
+    @pytest.fixture(scope="class")
+    def nbench_m(self, session):
+        return session.run_suite(load_suite("nbench"))
+
+    def _col(self, m, event):
+        return m.matrix[:, m.events.index(event)]
+
+    def _row(self, m, name, event):
+        i = m.workload_names.index(name)
+        return m.matrix[i, m.events.index(event)]
+
+    def test_lat_pagefault_dominates_page_faults(self, lmbench_m):
+        faults = self._col(lmbench_m, "page-faults")
+        top = lmbench_m.workload_names[int(np.argmax(faults))]
+        assert top in ("lat_pagefault", "lat_mmap")
+
+    def test_lat_mem_rd_worst_llc_misses_per_access(self, lmbench_m):
+        misses = self._col(lmbench_m, "LLC-load-misses")
+        loads = np.maximum(self._col(lmbench_m, "dTLB-loads"), 1)
+        rates = misses / loads
+        top = lmbench_m.workload_names[int(np.argmax(rates))]
+        assert top == "lat_mem_rd"
+
+    def test_lat_mmap_heavy_walk_cycles(self, lmbench_m):
+        walks = self._col(lmbench_m, "dtlb_walk_pending")
+        top = lmbench_m.workload_names[int(np.argmax(walks))]
+        assert top in ("lat_mmap", "lat_pagefault")
+
+    def test_nbench_much_more_cache_resident_than_lat_mem_rd(
+        self, nbench_m, lmbench_m
+    ):
+        # Small kernels: far less LLC miss traffic per access than the
+        # DRAM-latency probe. (Short traces keep some cold-footprint
+        # misses, so the check is relative, not absolute.)
+        def rates(m):
+            misses = self._col(m, "LLC-load-misses") + self._col(
+                m, "LLC-store-misses"
+            )
+            accesses = self._col(m, "dTLB-loads") + self._col(
+                m, "dTLB-stores"
+            )
+            return misses / accesses
+
+        nb = rates(nbench_m)
+        lat_mem_rd = rates(lmbench_m)[
+            lmbench_m.workload_names.index("lat_mem_rd")
+        ]
+        assert np.all(nb < 0.7 * lat_mem_rd)
+        assert np.median(nb) < 0.15
+
+    def test_nbench_vs_lmbench_coverage_contrast(self, nbench_m, lmbench_m):
+        # LMbench's extremes must dwarf Nbench's on at least one axis.
+        lm_pf = self._col(lmbench_m, "page-faults").max()
+        nb_pf = self._col(nbench_m, "page-faults").max()
+        assert lm_pf > 10 * max(nb_pf, 1)
