@@ -1,0 +1,38 @@
+# Development targets. `make qa` is the pre-merge gate documented in
+# benchmarks/README.md: the in-tree static-analysis pass, ruff, mypy
+# (both skipped with a notice when not installed) and the bit-for-bit
+# determinism checker.
+
+PYTHON ?= python
+RUN = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
+
+.PHONY: qa lint ruff mypy determinism test bench
+
+qa: lint ruff mypy determinism
+	@echo "qa: all gates passed"
+
+lint:
+	$(RUN) -m repro.qa.lint src/repro
+
+ruff:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/repro; \
+	else \
+		echo "ruff not installed; skipping (pip install ruff)"; \
+	fi
+
+mypy:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping (pip install mypy)"; \
+	fi
+
+determinism:
+	$(RUN) -m repro.qa.determinism
+
+test:
+	$(RUN) -m pytest -x -q
+
+bench:
+	$(RUN) -m pytest benchmarks -q

@@ -7,9 +7,15 @@
     perspector subset <suite> --size 8
     perspector suites
     perspector experiment fig1|fig2|fig3|fig4|fig5|fig6|subset|mux|ablations
+    perspector lint [paths ...]
+    perspector qa [--seed N]
 
-All commands run the simulation stack end-to-end; ``--quick`` switches
-to the short-trace preset.
+Scoring commands run the simulation stack end-to-end; ``--quick``
+switches to the short-trace preset. ``lint`` runs the project's
+static-analysis pass (:mod:`repro.qa.lint`) and ``qa`` the bit-for-bit
+determinism checker (:mod:`repro.qa.determinism`). The ``repro``
+console script is an alias of this one, so ``repro lint src/repro``
+works as documented.
 """
 
 from __future__ import annotations
@@ -86,6 +92,24 @@ def _cmd_subset(args):
     return 0
 
 
+def _cmd_lint(args):
+    from repro.qa.lint import main as lint_main
+
+    argv = list(args.paths) or ["src/repro"]
+    if args.list_rules:
+        argv = ["--list-rules"]
+    return lint_main(argv)
+
+
+def _cmd_qa(args):
+    from repro.qa.determinism import main as determinism_main
+
+    argv = ["--seed", str(args.seed), "--focus", args.focus]
+    if args.full:
+        argv.append("--full")
+    return determinism_main(argv)
+
+
 def _cmd_experiment(args):
     import importlib
 
@@ -131,6 +155,23 @@ def build_parser():
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
 
+    p_lint = sub.add_parser(
+        "lint", help="run the QA static-analysis pass over the tree"
+    )
+    p_lint.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/repro)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+
+    p_qa = sub.add_parser(
+        "qa", help="bit-for-bit determinism check of the scoring pipeline"
+    )
+    p_qa.add_argument("--seed", type=int, default=0)
+    p_qa.add_argument("--focus", default="all",
+                      choices=["all", "llc", "tlb", "branch", "core"])
+    p_qa.add_argument("--full", action="store_true",
+                      help="full-length traces (slower)")
+
     p_rep = sub.add_parser(
         "report", help="full suite report (scores + characterization)"
     )
@@ -164,6 +205,8 @@ def main(argv=None):
         "subset": _cmd_subset,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "lint": _cmd_lint,
+        "qa": _cmd_qa,
     }
     return handlers[args.command](args)
 

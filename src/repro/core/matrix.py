@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.qa import contracts
+
 
 @dataclass(frozen=True)
 class CounterMatrix:
@@ -52,15 +54,46 @@ class CounterMatrix:
         object.__setattr__(self, "values", values)
         n, m = len(self.workloads), len(self.events)
         if values.shape != (n, m):
-            raise ValueError(
+            message = (
                 f"values shape {values.shape} != ({n} workloads, {m} events)"
             )
+            mode = contracts.sanitizer_mode()
+            if mode == contracts.MODE_STRICT:
+                contracts.record(contracts.Violation(
+                    where=f"CounterMatrix({self.suite_name or '<unnamed>'})",
+                    rule="shape", message=message,
+                ))
+            elif mode != contracts.MODE_COLLECT:
+                raise ValueError(message)
+            # Collect mode lets the mangled matrix through; the scoring
+            # boundary reports it on the scorecard. Name-alignment checks
+            # below cannot run against a mismatched shape.
+            return
         if len(set(self.workloads)) != n:
             raise ValueError("duplicate workload names")
         if len(set(self.events)) != m:
             raise ValueError("duplicate event names")
-        if not np.all(np.isfinite(values)):
-            raise ValueError("values contain non-finite entries")
+        finite_mask = np.isfinite(values)
+        if not finite_mask.all():
+            bad = tuple(
+                str(self.events[j])
+                for j in np.where(~finite_mask.all(axis=0))[0]
+            )
+            message = (
+                f"values contain non-finite entries "
+                f"(event column(s): {', '.join(bad)})"
+            )
+            mode = contracts.sanitizer_mode()
+            if mode == contracts.MODE_STRICT:
+                contracts.record(contracts.Violation(
+                    where=f"CounterMatrix({self.suite_name or '<unnamed>'})",
+                    rule="finite", message=message, columns=bad,
+                ))
+            elif mode != contracts.MODE_COLLECT:
+                # Legacy (sanitizer-off) behaviour; collect mode lets the
+                # matrix through so the scoring boundary can report it on
+                # the scorecard.
+                raise ValueError(message)
         for event, series_list in self.series.items():
             if event not in self.events:
                 raise ValueError(f"series for unknown event {event!r}")

@@ -25,6 +25,7 @@ from repro.core.normalization import normalize_matrices_jointly
 from repro.core.report import SuiteComparison, SuiteScorecard
 from repro.core.spread_score import spread_score
 from repro.core.trend_score import trend_score
+from repro.qa import contracts
 
 
 @dataclass
@@ -136,6 +137,29 @@ class Perspector:
 
     def _score_matrix(self, matrix, focus, normalize):
         cfg = self.config
+        if contracts.sanitizer_active():
+            where = f"Perspector.score({matrix.suite_name or '<unnamed>'})"
+            # Strict mode raises ContractViolation here, naming the
+            # offending counter columns. Collect mode records and falls
+            # through; a poisoned matrix then yields an all-NaN scorecard
+            # carrying the violation report instead of feeding garbage
+            # to the kernels.
+            contracts.check_counter_matrix(matrix, where=where)
+            if matrix.has_series:
+                contracts.check_series_set(matrix.series, where=where)
+            if contracts.sanitizer_mode() == contracts.MODE_COLLECT:
+                pending = contracts.drain_violations()
+                if pending:
+                    return SuiteScorecard(
+                        suite_name=matrix.suite_name or "<unnamed>",
+                        focus=focus.value,
+                        cluster=float("nan"),
+                        trend=float("nan"),
+                        coverage=float("nan"),
+                        spread=float("nan"),
+                        details={},
+                        violations=tuple(pending),
+                    )
         if matrix.n_workloads >= 4:
             cluster = cluster_score(
                 matrix, seed=cfg.seed, n_restarts=cfg.kmeans_restarts,
@@ -169,6 +193,9 @@ class Perspector:
             details["cluster"] = cluster
         if trend is not None:
             details["trend"] = trend
+        violations = ()
+        if contracts.sanitizer_mode() == contracts.MODE_COLLECT:
+            violations = tuple(contracts.drain_violations())
         return SuiteScorecard(
             suite_name=matrix.suite_name or "<unnamed>",
             focus=focus.value,
@@ -177,4 +204,5 @@ class Perspector:
             coverage=coverage.value,
             spread=spread.value,
             details=details,
+            violations=violations,
         )

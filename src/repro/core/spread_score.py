@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.matrix import CounterMatrix
 from repro.core.normalization import normalize_matrix
+from repro.qa.contracts import ArraySpec, checked_array
 from repro.stats.kstest import ks_statistic_uniform, ks_two_sample
 
 #: Paper's reading: D below this = weakly uniform.
@@ -65,8 +66,9 @@ class SpreadScoreResult:
         return format(self.value, spec)
 
 
+@checked_array(matrix=ArraySpec(ndim=2, finite=True))
 def spread_score(matrix, normalize=True, axis="workloads", sampled=False,
-                 rng=None):
+                 rng=0):
     """Compute the SpreadScore of a suite (Eq. 14).
 
     Parameters

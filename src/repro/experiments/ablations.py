@@ -15,6 +15,7 @@ these ablations measure how much each one matters, on one diverse suite
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -106,7 +107,7 @@ def render(result):
     lines = [f"design-choice ablations on {result.suite}", ""]
     lines.append("PCA retained-variance target vs CoverageScore:")
     for target, value in result.pca_variance.items():
-        marker = "  <- paper" if target == 0.98 else ""
+        marker = "  <- paper" if math.isclose(target, 0.98) else ""
         lines.append(f"  variance={target:.2f}: {value:.4f}{marker}")
     lines.append("")
     lines.append("K-means restarts vs ClusterScore (mean +/- std over seeds):")

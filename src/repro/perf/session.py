@@ -28,6 +28,7 @@ import numpy as np
 from repro.perf.events import TABLE_IV_EVENTS
 from repro.perf.pmu import PMU
 from repro.perf.sampler import IntervalSampler
+from repro.qa import contracts
 from repro.uarch.config import xeon_e2186g
 from repro.uarch.cpu import CPU
 
@@ -234,6 +235,16 @@ class PerfSession:
             event: [m.series[event] for m in measurements]
             for event in self.events
         }
+        if contracts.sanitizer_active():
+            # Output contract: the simulator must hand scoring a finite
+            # float matrix and finite per-event series.
+            contracts.check_array(
+                matrix, where=f"PerfSession.run_suite({suite.name})",
+                name="matrix", ndim=2, column_names=self.events,
+            )
+            contracts.check_series_set(
+                series, where=f"PerfSession.run_suite({suite.name})",
+            )
         return SuiteMeasurement(
             suite_name=suite.name,
             workload_names=names,

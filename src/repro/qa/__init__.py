@@ -1,0 +1,62 @@
+"""Numerical QA tooling for the Perspector scoring pipeline.
+
+The four Section III scores are only trustworthy if the numerical
+pipeline beneath them is deterministic, NaN-free and shape-correct.
+This package is the correctness-tooling layer that enforces that, the
+way sanitizers do for a training/inference stack:
+
+* :mod:`repro.qa.lint` -- an AST-based static-analysis pass with
+  project-specific rules (RNG discipline, argument mutation in kernels,
+  float equality, overbroad ``except``, ``__all__`` drift). Run it as
+  ``repro lint src/repro`` or ``python -m repro.qa.lint``.
+* :mod:`repro.qa.contracts` -- a runtime array-contract sanitizer:
+  :func:`~repro.qa.contracts.sanitize` switches the pipeline into
+  *strict* mode (contract violations raise
+  :class:`~repro.qa.contracts.ContractViolation`) or *collect* mode
+  (violations accumulate onto the resulting
+  :class:`~repro.core.report.SuiteScorecard`).
+* :mod:`repro.qa.determinism` -- re-runs ``Perspector.score`` twice
+  under one seed and diffs the scorecards bit-for-bit.
+
+Exports resolve lazily (PEP 562) so that ``python -m repro.qa.lint``
+does not import the contracts/determinism halves (or numpy-heavy
+dependents) before runpy executes the module.
+"""
+
+_EXPORTS = {
+    "ArraySpec": "repro.qa.contracts",
+    "ContractViolation": "repro.qa.contracts",
+    "Violation": "repro.qa.contracts",
+    "check_array": "repro.qa.contracts",
+    "check_counter_matrix": "repro.qa.contracts",
+    "check_series_set": "repro.qa.contracts",
+    "checked_array": "repro.qa.contracts",
+    "drain_violations": "repro.qa.contracts",
+    "sanitize": "repro.qa.contracts",
+    "sanitizer_active": "repro.qa.contracts",
+    "sanitizer_mode": "repro.qa.contracts",
+    "DeterminismReport": "repro.qa.determinism",
+    "check_determinism": "repro.qa.determinism",
+    "diff_scorecards": "repro.qa.determinism",
+    "Finding": "repro.qa.lint",
+    "lint_paths": "repro.qa.lint",
+    "lint_source": "repro.qa.lint",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    """Lazily resolve the public API (PEP 562)."""
+    if name in _EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value  # cache for subsequent lookups
+        return value
+    raise AttributeError(f"module 'repro.qa' has no attribute {name!r}")
+
+
+def __dir__():
+    return __all__

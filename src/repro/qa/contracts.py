@@ -1,0 +1,342 @@
+"""Runtime array-contract sanitizer for the scoring pipeline.
+
+The scoring hot path (CounterMatrix construction, joint normalization,
+the four ``*_score`` entry points, ``PerfSession`` output) declares
+array contracts -- finite values, float dtype, 2-D shape consistent with
+the attached workload/event names -- and this module enforces them at
+run time, the way ASan/UBSan instrument a native binary.
+
+Three modes, selected with the :func:`sanitize` context manager:
+
+* **off** (default): checks are skipped entirely; the pipeline keeps
+  its normal (cheap) construction-time validation and nothing else.
+* **strict**: the first violated contract raises
+  :class:`ContractViolation` naming the boundary and the offending
+  counter columns.
+* **collect**: violations accumulate on a per-thread collector;
+  :class:`repro.core.perspector.Perspector` drains it onto the
+  resulting :class:`~repro.core.report.SuiteScorecard` so a whole
+  suite's problems surface in one report instead of dying on the first.
+
+The module depends only on numpy -- it sits *below* ``repro.core`` so
+the hot-path modules can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import inspect
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+MODE_OFF = "off"
+MODE_STRICT = "strict"
+MODE_COLLECT = "collect"
+_MODES = (MODE_OFF, MODE_STRICT, MODE_COLLECT)
+
+
+class ContractViolation(ValueError):
+    """An array contract was violated at a checked pipeline boundary."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One recorded contract violation.
+
+    Attributes
+    ----------
+    where:
+        Boundary label, e.g. ``"CounterMatrix(nbench)"`` or
+        ``"coverage_score(matrix)"``.
+    rule:
+        Contract kind: ``finite`` / ``shape`` / ``ndim`` / ``dtype`` /
+        ``axis``.
+    message:
+        Human-readable description.
+    columns:
+        Offending counter-column (event) names, when identifiable.
+    """
+
+    where: str
+    rule: str
+    message: str
+    columns: tuple = ()
+
+    def __str__(self):
+        suffix = f" [columns: {', '.join(self.columns)}]" if self.columns \
+            else ""
+        return f"{self.where}: {self.rule} contract: {self.message}{suffix}"
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Declarative contract for one array-valued argument.
+
+    ``shape`` entries may be ``None`` (wildcard) or an int; ``axis_names``
+    optionally names each axis for diagnostics (e.g. ``("workloads",
+    "events")``).
+    """
+
+    ndim: int = None
+    shape: tuple = None
+    dtype: str = "floating"
+    finite: bool = True
+    axis_names: tuple = None
+
+
+_state = threading.local()
+
+
+def _mode():
+    return getattr(_state, "mode", MODE_OFF)
+
+
+def sanitizer_mode():
+    """The active sanitizer mode: ``"off"``, ``"strict"`` or
+    ``"collect"``."""
+    return _mode()
+
+
+def sanitizer_active():
+    """Whether contract checks run at all."""
+    return _mode() != MODE_OFF
+
+
+def _collector():
+    if not hasattr(_state, "violations"):
+        _state.violations = []
+    return _state.violations
+
+
+@contextlib.contextmanager
+def sanitize(mode=MODE_STRICT):
+    """Enable the sanitizer for the dynamic extent of the block.
+
+    Parameters
+    ----------
+    mode:
+        ``"strict"`` (raise on first violation), ``"collect"``
+        (accumulate violations; drain with :func:`drain_violations`),
+        or ``"off"``. Booleans are accepted as shorthand: ``True`` means
+        strict, ``False`` off.
+
+    Yields
+    ------
+    list
+        The live violation collector (useful in collect mode).
+    """
+    if mode is True:
+        mode = MODE_STRICT
+    elif mode is False:
+        mode = MODE_OFF
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    previous_mode = _mode()
+    previous_violations = getattr(_state, "violations", None)
+    _state.mode = mode
+    _state.violations = []
+    try:
+        yield _state.violations
+    finally:
+        _state.mode = previous_mode
+        if previous_violations is None:
+            del _state.violations
+        else:
+            _state.violations = previous_violations
+
+
+def record(violation):
+    """Dispatch one violation according to the active mode."""
+    mode = _mode()
+    if mode == MODE_STRICT:
+        raise ContractViolation(str(violation))
+    if mode == MODE_COLLECT:
+        _collector().append(violation)
+    # off: checks should not have run; dropping is the safe fallback.
+
+
+def drain_violations():
+    """Return and clear the violations collected so far (collect mode)."""
+    collected = list(_collector())
+    _collector().clear()
+    return collected
+
+
+# -- checks -----------------------------------------------------------------
+
+
+def _nonfinite_columns(values, axis_names):
+    """Names (or indices) of columns containing non-finite entries."""
+    mask = ~np.isfinite(values)
+    if values.ndim != 2:
+        return ()
+    bad = np.where(mask.any(axis=0))[0]
+    if axis_names is not None and len(axis_names) == values.shape[1]:
+        return tuple(str(axis_names[j]) for j in bad)
+    return tuple(str(j) for j in bad)
+
+
+def check_array(value, *, where, name="array", ndim=None, shape=None,
+                dtype="floating", finite=True, axis_names=None,
+                column_names=None):
+    """Validate one array against its contract; returns ``value``.
+
+    No-op when the sanitizer is off. ``column_names`` labels the last
+    axis for finite-violation diagnostics (counter/event names);
+    ``axis_names`` labels the axes themselves for shape diagnostics.
+    """
+    if not sanitizer_active():
+        return value
+    arr = np.asarray(value)
+    label = f"{where}({name})"
+    if ndim is not None and arr.ndim != ndim:
+        record(Violation(
+            where=label, rule="ndim",
+            message=f"expected {ndim}-D array, got shape {arr.shape}",
+        ))
+        return value
+    if shape is not None:
+        if arr.ndim != len(shape) or any(
+            want is not None and have != want
+            for have, want in zip(arr.shape, shape)
+        ):
+            axes = ""
+            if axis_names is not None:
+                axes = f" (axes: {', '.join(map(str, axis_names))})"
+            record(Violation(
+                where=label, rule="shape",
+                message=f"expected shape {shape}{axes}, got {arr.shape}",
+            ))
+            return value
+    if dtype == "floating":
+        if not np.issubdtype(arr.dtype, np.floating):
+            record(Violation(
+                where=label, rule="dtype",
+                message=f"expected floating dtype, got {arr.dtype}",
+            ))
+            return value
+    elif dtype is not None and not np.issubdtype(arr.dtype, np.dtype(dtype)):
+        record(Violation(
+            where=label, rule="dtype",
+            message=f"expected {dtype} dtype, got {arr.dtype}",
+        ))
+        return value
+    if finite and np.issubdtype(arr.dtype, np.number) and \
+            not np.all(np.isfinite(arr)):
+        columns = _nonfinite_columns(arr, column_names)
+        n_bad = int(np.count_nonzero(~np.isfinite(arr)))
+        record(Violation(
+            where=label, rule="finite",
+            message=f"{n_bad} non-finite entr{'y' if n_bad == 1 else 'ies'}",
+            columns=columns,
+        ))
+    return value
+
+
+def check_counter_matrix(matrix, *, where, name="matrix"):
+    """Validate a :class:`~repro.core.matrix.CounterMatrix`-like object.
+
+    Duck-typed (``workloads`` / ``events`` / ``values`` attributes) so
+    this module never imports ``repro.core``. Checks that ``values`` is
+    a finite float matrix whose shape matches the attached axis names --
+    which also catches post-construction mangling of the (mutable)
+    ``values`` array inside the frozen dataclass.
+    """
+    if not sanitizer_active():
+        return matrix
+    values = np.asarray(matrix.values)
+    expected = (len(matrix.workloads), len(matrix.events))
+    check_array(
+        values, where=where, name=name, ndim=2, shape=expected,
+        dtype="floating", finite=True,
+        axis_names=("workloads", "events"),
+        column_names=tuple(matrix.events),
+    )
+    return matrix
+
+
+def check_series_set(series_by_event, *, where):
+    """Validate a ``{event: [series, ...]}`` mapping (TrendScore input)."""
+    if not sanitizer_active():
+        return series_by_event
+    for event, series_list in series_by_event.items():
+        for i, series in enumerate(series_list):
+            arr = np.asarray(series, dtype=float)
+            if arr.size and not np.all(np.isfinite(arr)):
+                record(Violation(
+                    where=f"{where}(series[{i}])", rule="finite",
+                    message=f"time series {i} for event {event!r} has "
+                            f"non-finite samples",
+                    columns=(str(event),),
+                ))
+    return series_by_event
+
+
+def checked_array(**param_specs):
+    """Decorator: enforce :class:`ArraySpec` contracts on named arguments.
+
+    ::
+
+        @checked_array(matrix=ArraySpec(ndim=2, finite=True))
+        def coverage_score(matrix, ...): ...
+
+    CounterMatrix-like arguments (anything with ``workloads`` /
+    ``events`` / ``values``) are routed through
+    :func:`check_counter_matrix`; plain array-likes through
+    :func:`check_array`. Zero overhead beyond one truthiness test when
+    the sanitizer is off.
+    """
+    specs = {}
+    for pname, spec in param_specs.items():
+        if not isinstance(spec, ArraySpec):
+            raise TypeError(
+                f"spec for {pname!r} must be an ArraySpec, got "
+                f"{type(spec).__name__}"
+            )
+        specs[pname] = spec
+
+    def decorate(func):
+        signature = inspect.signature(func)
+        unknown = set(specs) - set(signature.parameters)
+        if unknown:
+            raise TypeError(
+                f"{func.__qualname__} has no parameter(s) "
+                f"{sorted(unknown)}"
+            )
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            if sanitizer_active():
+                bound = signature.bind_partial(*args, **kwargs)
+                for pname, spec in specs.items():
+                    if pname not in bound.arguments:
+                        continue
+                    value = bound.arguments[pname]
+                    where = func.__qualname__
+                    if hasattr(value, "values") and \
+                            hasattr(value, "workloads") and \
+                            hasattr(value, "events"):
+                        check_counter_matrix(value, where=where, name=pname)
+                    elif value is not None:
+                        try:
+                            arr = np.asarray(value, dtype=float)
+                        except (TypeError, ValueError):
+                            record(Violation(
+                                where=f"{where}({pname})", rule="dtype",
+                                message="argument is not coercible to a "
+                                        "float array",
+                            ))
+                            continue
+                        check_array(
+                            arr, where=where, name=pname, ndim=spec.ndim,
+                            shape=spec.shape, dtype=spec.dtype,
+                            finite=spec.finite, axis_names=spec.axis_names,
+                        )
+            return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -1,0 +1,185 @@
+"""Bit-for-bit determinism checker for the scoring pipeline.
+
+Reproducibility claims are only honest at the bit level: "close enough"
+drift between two same-seed runs means an unseeded RNG or an
+order-dependent reduction is hiding somewhere. This checker runs
+``Perspector.score`` twice -- two *fresh* Perspector/PerfSession
+instances under one seed -- and diffs the scorecards through the IEEE-754
+bit patterns of every score and every per-item decomposition value
+(NaN == NaN under this comparison, unlike ``==``).
+
+Run it as ``python -m repro.qa.determinism`` (the default drives a
+synthetic suite through the full simulate-measure-score stack, covering
+all four scores) or call :func:`check_determinism` with any suite or
+:class:`~repro.core.matrix.CounterMatrix`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import struct
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _bits(value):
+    """IEEE-754 bit pattern of a float (total ordering, NaN-stable)."""
+    return struct.pack("<d", float(value))
+
+
+def _mismatch(label, a, b):
+    return (f"{label}: {a!r} (bits {_bits(a).hex()}) != "
+            f"{b!r} (bits {_bits(b).hex()})")
+
+
+def _compare_mapping(label, a, b, mismatches):
+    if set(a) != set(b):
+        mismatches.append(
+            f"{label}: key sets differ ({sorted(map(str, a))} vs "
+            f"{sorted(map(str, b))})"
+        )
+        return
+    for key in a:
+        va, vb = a[key], b[key]
+        if isinstance(va, (int, float, np.floating, np.integer)):
+            if _bits(va) != _bits(vb):
+                mismatches.append(_mismatch(f"{label}[{key!r}]", va, vb))
+
+
+def diff_scorecards(a, b):
+    """Bit-level differences between two scorecards; empty list means
+    bit-identical."""
+    mismatches = []
+    if a.suite_name != b.suite_name:
+        mismatches.append(f"suite_name: {a.suite_name!r} != {b.suite_name!r}")
+    if a.focus != b.focus:
+        mismatches.append(f"focus: {a.focus!r} != {b.focus!r}")
+    for score in ("cluster", "trend", "coverage", "spread"):
+        va, vb = getattr(a, score), getattr(b, score)
+        if _bits(va) != _bits(vb):
+            mismatches.append(_mismatch(score, va, vb))
+    for name, attr in (("cluster", "per_k"), ("trend", "per_event"),
+                       ("spread", "per_item")):
+        da, db = a.details.get(name), b.details.get(name)
+        if (da is None) != (db is None):
+            mismatches.append(f"details[{name!r}]: present in one run only")
+        elif da is not None:
+            _compare_mapping(f"{name}.{attr}", getattr(da, attr),
+                             getattr(db, attr), mismatches)
+    ca, cb = a.details.get("coverage"), b.details.get("coverage")
+    if ca is not None and cb is not None:
+        if ca.n_components != cb.n_components:
+            mismatches.append(
+                f"coverage.n_components: {ca.n_components} != "
+                f"{cb.n_components}"
+            )
+        elif ca.component_variances.tobytes() != \
+                cb.component_variances.tobytes():
+            mismatches.append("coverage.component_variances: bit drift")
+    return mismatches
+
+
+@dataclass(frozen=True)
+class DeterminismReport:
+    """Outcome of a two-run determinism check.
+
+    Attributes
+    ----------
+    identical:
+        Whether the two scorecards were bit-for-bit identical.
+    mismatches:
+        Human-readable descriptions of every bit-level difference.
+    scorecards:
+        The two scorecards, in run order.
+    seed:
+        The shared seed both runs used.
+    """
+
+    identical: bool
+    mismatches: tuple
+    scorecards: tuple
+    seed: int
+
+    def __str__(self):
+        card = self.scorecards[0]
+        head = (f"determinism check (seed={self.seed}, suite="
+                f"{card.suite_name!r}): ")
+        if self.identical:
+            return head + "PASS -- scorecards bit-identical across 2 runs"
+        lines = [head + f"FAIL -- {len(self.mismatches)} mismatch(es)"]
+        lines.extend(f"  {m}" for m in self.mismatches)
+        return "\n".join(lines)
+
+
+def check_determinism(suite_or_matrix, seed=0, focus="all",
+                      session_factory=None):
+    """Score the input twice under one seed; diff the results bit-for-bit.
+
+    Each run builds a *fresh* Perspector (and, unless ``session_factory``
+    is given, a fresh default :class:`~repro.perf.session.PerfSession`),
+    so no state leaks between runs -- exactly the "two cold processes"
+    setting a user hitting reproducibility bugs would be in.
+
+    Returns
+    -------
+    DeterminismReport
+    """
+    from repro.core.perspector import Perspector
+
+    cards = []
+    for _ in range(2):
+        session = None if session_factory is None else session_factory()
+        perspector = Perspector(session=session, seed=seed)
+        cards.append(perspector.score(suite_or_matrix, focus=focus))
+    mismatches = tuple(diff_scorecards(cards[0], cards[1]))
+    return DeterminismReport(
+        identical=not mismatches,
+        mismatches=mismatches,
+        scorecards=tuple(cards),
+        seed=seed,
+    )
+
+
+def _default_subject(seed, quick):
+    """A synthetic suite exercising all four scores through the full
+    simulate-measure-score stack."""
+    from repro.perf.session import PerfSession
+    from repro.workloads.synthetic import make_synthetic_suite
+
+    suite = make_synthetic_suite(
+        n_workloads=6, diversity=0.7, phase_richness=0.6, seed=seed,
+        name="qa-determinism",
+    )
+    if quick:
+        factory = (lambda: PerfSession(n_intervals=8, ops_per_interval=400,
+                                       seed=seed))
+    else:
+        factory = lambda: PerfSession(seed=seed)
+    return suite, factory
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.qa.determinism",
+        description="Re-run Perspector.score twice under one seed and "
+                    "diff the scorecards bit-for-bit.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--focus", default="all",
+                        choices=["all", "llc", "tlb", "branch", "core"])
+    parser.add_argument("--full", action="store_true",
+                        help="full-length traces (slower; default is the "
+                             "quick preset)")
+    args = parser.parse_args(argv)
+
+    suite, factory = _default_subject(args.seed, quick=not args.full)
+    report = check_determinism(suite, seed=args.seed, focus=args.focus,
+                               session_factory=factory)
+    print(report)
+    return 0 if report.identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""AST-based static-analysis pass for the repro tree.
+
+The linter parses every Python file it is pointed at and runs a set of
+project-specific rules over the AST (see :mod:`repro.qa.rules`). Each
+finding is reported as ``file:line rule-id message`` -- the same shape
+compiler diagnostics take -- and the process exits non-zero when any
+finding survives suppression, so the pass can gate a merge.
+
+Suppression is per-line and per-rule: append ``# qa-ignore[rule-id]``
+to the offending line (several ids may be comma-separated), or a bare
+``# qa-ignore`` to silence every rule on that line. Suppressions are
+deliberately loud in review diffs; the clean-tree pytest gate
+(``tests/test_qa_lint_clean.py``) keeps the default posture "fix, not
+suppress".
+
+Run it as::
+
+    repro lint src/repro
+    python -m repro.qa.lint src/repro tests
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: where, which rule, and what is wrong."""
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+
+    def __str__(self):
+        return f"{self.path}:{self.line} {self.rule_id} {self.message}"
+
+
+_SUPPRESS_RE = re.compile(r"#\s*qa-ignore(?:\[(?P<rules>[^\]]*)\])?")
+
+
+class SourceContext:
+    """Everything a rule may want to know about one source file."""
+
+    def __init__(self, path, source):
+        self.path = Path(path)
+        self.source = source
+        self.lines = source.splitlines()
+
+    def in_directory(self, *names):
+        """Whether any path component matches one of ``names``."""
+        return any(part in names for part in self.path.parts)
+
+    @property
+    def is_package_init(self):
+        return self.path.name == "__init__.py"
+
+    def suppressed(self, line, rule_id):
+        """Whether ``# qa-ignore`` on the given physical line covers
+        ``rule_id``."""
+        if not (1 <= line <= len(self.lines)):
+            return False
+        match = _SUPPRESS_RE.search(self.lines[line - 1])
+        if match is None:
+            return False
+        listed = match.group("rules")
+        if listed is None:
+            return True  # bare qa-ignore silences everything
+        ids = {item.strip() for item in listed.split(",") if item.strip()}
+        return rule_id in ids
+
+
+def _default_rules():
+    from repro.qa.rules import default_rules
+
+    return default_rules()
+
+
+def lint_source(source, path="<string>", rules=None):
+    """Lint one source string; returns surviving :class:`Finding`s."""
+    if rules is None:
+        rules = _default_rules()
+    ctx = SourceContext(path, source)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=int(exc.lineno or 1),
+                rule_id="parse-error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    findings = []
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(tree, ctx):
+            if not ctx.suppressed(finding.line, finding.rule_id):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def iter_python_files(paths):
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(
+                p for p in sorted(path.rglob("*.py"))
+                if not any(part.startswith(".") for part in p.parts)
+            )
+        elif path.suffix == ".py" and path.is_file():
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {raw}")
+    return out
+
+
+def lint_paths(paths, rules=None):
+    """Lint files/directories; returns all surviving findings, sorted."""
+    if rules is None:
+        rules = _default_rules()
+    findings = []
+    for path in iter_python_files(paths):
+        findings.extend(
+            lint_source(path.read_text(encoding="utf-8"), path=path,
+                        rules=rules)
+        )
+    return sorted(findings)
+
+
+def main(argv=None):
+    from repro.qa.rules import default_rules
+
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Project-specific numerical static-analysis pass.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories (default: src/repro)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.rule_id:<18} {rule.description}")
+        return 0
+
+    try:
+        findings = lint_paths(args.paths or ["src/repro"])
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

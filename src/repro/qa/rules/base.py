@@ -1,0 +1,105 @@
+"""Shared rule machinery for the QA linter."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.qa.lint import Finding
+
+
+class Rule:
+    """One static-analysis rule.
+
+    Subclasses set ``rule_id`` / ``description`` and implement
+    :meth:`check`; :meth:`applies_to` scopes the rule to part of the
+    tree (e.g. kernel-only rules).
+    """
+
+    rule_id = "abstract"
+    description = ""
+
+    def applies_to(self, ctx):
+        return True
+
+    def check(self, tree, ctx):
+        raise NotImplementedError
+
+    def finding(self, ctx, node_or_line, message):
+        line = (node_or_line if isinstance(node_or_line, int)
+                else getattr(node_or_line, "lineno", 1))
+        return Finding(path=str(ctx.path), line=line,
+                       rule_id=self.rule_id, message=message)
+
+
+def dotted_name(node):
+    """``a.b.c`` attribute/name chain as a string, or None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_function_defs(tree):
+    """Every (async) function definition in the module, nested included."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def parameter_names(func):
+    """Positional/keyword/kw-only parameter names, ``self``/``cls``
+    excluded."""
+    args = func.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return [n for n in names if n not in ("self", "cls")]
+
+
+def parameters_with_none_default(func):
+    """Names of parameters whose declared default is the constant None."""
+    args = func.args
+    out = set()
+    positional = args.posonlyargs + args.args
+    for param, default in zip(positional[len(positional) - len(args.defaults):],
+                              args.defaults):
+        if isinstance(default, ast.Constant) and default.value is None:
+            out.add(param.arg)
+    for param, default in zip(args.kwonlyargs, args.kw_defaults):
+        if (default is not None and isinstance(default, ast.Constant)
+                and default.value is None):
+            out.add(param.arg)
+    return out
+
+
+def rebound_names(func):
+    """Parameter-shadowing local rebinds: names assigned as plain
+    ``name = ...`` (or for-targets / with-targets) in the body."""
+    out = set()
+
+    def add_target(target):
+        if isinstance(target, ast.Name):
+            out.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                add_target(element)
+        elif isinstance(target, ast.Starred):
+            add_target(target.value)
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                add_target(target)
+        elif isinstance(node, ast.AnnAssign):
+            add_target(node.target)
+        elif isinstance(node, ast.For):
+            add_target(node.target)
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            add_target(node.optional_vars)
+    return out

@@ -1,0 +1,103 @@
+"""Argument-mutation detection for the numerical kernels.
+
+The ``stats/`` and ``core/`` kernels receive caller-owned numpy arrays;
+writing into them in place (``x[...] = ``, ``x += ``, ``np.clip(...,
+out=x)``) corrupts the caller's data and makes results depend on call
+order. Kernels must copy (``x = np.asarray(x, dtype=float).copy()``) or
+compute out of place.
+
+A parameter that is *rebound* in the function body (``x = normalize(x)``)
+is treated as a local afterwards and not flagged: the idiomatic
+"coerce-then-work-on-your-own-copy" pattern stays clean.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.qa.rules.base import (
+    Rule,
+    dotted_name,
+    iter_function_defs,
+    parameter_names,
+    rebound_names,
+)
+
+#: numpy free functions whose first positional argument is written in place.
+NUMPY_FIRST_ARG_MUTATORS = frozenset({
+    "fill_diagonal", "copyto", "place", "put", "put_along_axis", "putmask",
+})
+
+#: ndarray methods that write in place.
+NDARRAY_MUTATOR_METHODS = frozenset({
+    "fill", "sort", "partition", "resize", "setfield", "itemset", "setflags",
+})
+
+
+def _subscript_root(node):
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+class ArgumentMutation(Rule):
+    rule_id = "arg-mutation"
+    description = ("stats/ and core/ kernels must not write into their "
+                   "array parameters in place")
+
+    def applies_to(self, ctx):
+        return ctx.in_directory("stats", "core")
+
+    def check(self, tree, ctx):
+        for func in iter_function_defs(tree):
+            tracked = set(parameter_names(func)) - rebound_names(func)
+            if not tracked:
+                continue
+            yield from self._check_function(func, tracked, ctx)
+
+    def _check_function(self, func, tracked, ctx):
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if isinstance(target, ast.Subscript):
+                        root = _subscript_root(target)
+                        if root in tracked:
+                            yield self.finding(
+                                ctx, node,
+                                f"in-place write to parameter {root!r}; "
+                                f"copy before mutating",
+                            )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(node, tracked, ctx)
+
+    def _check_call(self, call, tracked, ctx):
+        for keyword in call.keywords:
+            if keyword.arg == "out" and \
+                    isinstance(keyword.value, ast.Name) and \
+                    keyword.value.id in tracked:
+                yield self.finding(
+                    ctx, call,
+                    f"out={keyword.value.id} writes into a parameter; "
+                    f"allocate a fresh output array",
+                )
+        name = dotted_name(call.func)
+        if name is None:
+            return
+        head, _, tail = name.rpartition(".")
+        if tail in NUMPY_FIRST_ARG_MUTATORS and head in ("np", "numpy") \
+                and call.args:
+            target = call.args[0]
+            if isinstance(target, ast.Name) and target.id in tracked:
+                yield self.finding(
+                    ctx, call,
+                    f"np.{tail}() mutates parameter {target.id!r} in "
+                    f"place; copy first",
+                )
+        elif tail in NDARRAY_MUTATOR_METHODS and head in tracked:
+            yield self.finding(
+                ctx, call,
+                f"{head}.{tail}() mutates parameter {head!r} in place; "
+                f"copy first",
+            )

@@ -1,0 +1,153 @@
+"""RNG discipline: every random stream must thread an explicit seed.
+
+The determinism story of the whole pipeline (ROADMAP: reproducible
+scores, bit-identical same-seed reruns) dies the moment one kernel pulls
+from numpy's global RNG or builds an unseeded ``Generator``. Three
+shapes are flagged:
+
+* calls into the legacy module-level RNG (``np.random.rand`` and
+  friends, including ``np.random.seed`` -- global state is the problem,
+  seeding it does not help);
+* ``default_rng()`` with no argument or a literal ``None`` (OS-entropy
+  seeding: nondeterministic by construction);
+* a function parameter (or dataclass field) named anything that defaults
+  to ``None`` and then flows into ``default_rng`` -- callers that do not
+  pass a seed silently get a nondeterministic stream, so the default
+  itself must be a concrete seed.
+
+Test/example/benchmark code is exempt: the rule is about the library.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.qa.rules.base import (
+    Rule,
+    dotted_name,
+    iter_function_defs,
+    parameters_with_none_default,
+)
+
+#: Module-level samplers/state of the legacy numpy RNG.
+LEGACY_RNG_ATTRS = frozenset({
+    "seed", "get_state", "set_state",
+    "rand", "randn", "randint", "random_integers",
+    "random", "random_sample", "ranf", "sample", "bytes",
+    "shuffle", "permutation", "choice",
+    "uniform", "normal", "standard_normal", "lognormal",
+    "exponential", "poisson", "binomial", "beta", "gamma",
+    "chisquare", "dirichlet", "geometric", "laplace", "multinomial",
+    "multivariate_normal", "pareto", "rayleigh", "triangular",
+    "vonmises", "wald", "weibull", "zipf",
+})
+
+_NUMPY_ROOTS = ("np.random.", "numpy.random.")
+
+
+def _is_default_rng_call(call):
+    name = dotted_name(call.func)
+    return name is not None and (
+        name == "default_rng" or name.endswith(".default_rng")
+    )
+
+
+class RngDiscipline(Rule):
+    rule_id = "rng-discipline"
+    description = ("no module-level np.random calls; default_rng must "
+                   "receive an explicit seed or Generator")
+
+    def applies_to(self, ctx):
+        return not ctx.in_directory("tests", "examples", "benchmarks")
+
+    def check(self, tree, ctx):
+        yield from self._check_calls(tree, ctx)
+        for func in iter_function_defs(tree):
+            yield from self._check_none_default_params(func, ctx)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class_fields(node, ctx)
+
+    # -- direct calls --------------------------------------------------------
+
+    def _check_calls(self, tree, ctx):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            for root in _NUMPY_ROOTS:
+                if name.startswith(root) and name[len(root):] in \
+                        LEGACY_RNG_ATTRS:
+                    yield self.finding(
+                        ctx, node,
+                        f"call to module-level RNG {name}(); use a seeded "
+                        f"np.random.default_rng(seed) Generator instead",
+                    )
+                    break
+            if _is_default_rng_call(node):
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx, node,
+                        "unseeded default_rng(): nondeterministic stream; "
+                        "thread an explicit seed or Generator",
+                    )
+                elif node.args and isinstance(node.args[0], ast.Constant) \
+                        and node.args[0].value is None:
+                    yield self.finding(
+                        ctx, node,
+                        "default_rng(None) is entropy-seeded; thread an "
+                        "explicit seed or Generator",
+                    )
+
+    # -- None-default seed parameters ---------------------------------------
+
+    def _check_none_default_params(self, func, ctx):
+        none_defaults = parameters_with_none_default(func)
+        if not none_defaults:
+            return
+        flagged = set()
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Call)
+                    and _is_default_rng_call(node) and node.args):
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Name) and arg.id in none_defaults \
+                    and arg.id not in flagged:
+                flagged.add(arg.id)
+                yield self.finding(
+                    ctx, func,
+                    f"parameter {arg.id!r} of {func.name}() defaults to "
+                    f"None and feeds default_rng(); default to a concrete "
+                    f"seed so unseeded callers stay deterministic",
+                )
+
+    # -- None-default dataclass fields --------------------------------------
+
+    def _check_class_fields(self, cls, ctx):
+        none_fields = {}
+        for stmt in cls.body:
+            if isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name) \
+                    and isinstance(stmt.value, ast.Constant) \
+                    and stmt.value.value is None:
+                none_fields[stmt.target.id] = stmt
+        if not none_fields:
+            return
+        flagged = set()
+        for node in ast.walk(cls):
+            if not (isinstance(node, ast.Call)
+                    and _is_default_rng_call(node) and node.args):
+                continue
+            name = dotted_name(node.args[0])
+            if name is None or not name.startswith("self."):
+                continue
+            field = name[len("self."):]
+            if field in none_fields and field not in flagged:
+                flagged.add(field)
+                yield self.finding(
+                    ctx, none_fields[field],
+                    f"field {field!r} of {cls.name} defaults to None and "
+                    f"feeds default_rng(); default to a concrete seed",
+                )

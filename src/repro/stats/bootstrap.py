@@ -46,7 +46,7 @@ class BootstrapResult:
 
 
 def bootstrap_statistic(rows, statistic, n_boot=200, confidence=0.95,
-                        rng=None, min_rows=2, replace=True,
+                        rng=0, min_rows=2, replace=True,
                         subsample_size=None):
     """Percentile-bootstrap (or subsample) a row-wise statistic.
 

@@ -127,14 +127,15 @@ class KMeans:
     tol:
         Centroid-shift (Frobenius) convergence threshold.
     seed:
-        Seed for the internal :class:`numpy.random.Generator`.
+        Seed for the internal :class:`numpy.random.Generator`. Defaults
+        to 0 so an unconfigured KMeans is still deterministic.
     """
 
     k: int
     n_restarts: int = 8
     max_iter: int = 300
     tol: float = 1e-9
-    seed: int | None = None
+    seed: int = 0
     _rng: np.random.Generator = field(init=False, repr=False, default=None)
 
     def __post_init__(self):
@@ -185,6 +186,6 @@ class KMeans:
         return best
 
 
-def kmeans(x, k, seed=None, n_restarts=8):
+def kmeans(x, k, seed=0, n_restarts=8):
     """Functional shorthand for ``KMeans(k, ...).fit(x)``."""
     return KMeans(k=k, seed=seed, n_restarts=n_restarts).fit(x)

@@ -30,7 +30,7 @@ def _check_args(n_samples, n_dims):
         raise ValueError(f"n_dims must be >= 1, got {n_dims}")
 
 
-def latin_hypercube(n_samples, n_dims, rng=None, centered=False):
+def latin_hypercube(n_samples, n_dims, rng=0, centered=False):
     """Draw an LHS design in the unit hypercube.
 
     Parameters
@@ -67,7 +67,7 @@ def latin_hypercube(n_samples, n_dims, rng=None, centered=False):
     return out
 
 
-def maximin_latin_hypercube(n_samples, n_dims, rng=None, n_candidates=32,
+def maximin_latin_hypercube(n_samples, n_dims, rng=0, n_candidates=32,
                             centered=False):
     """LHS design maximizing the minimum pairwise distance.
 

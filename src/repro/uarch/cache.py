@@ -76,10 +76,11 @@ class SetAssociativeCache:
     config:
         Geometry and policy (:class:`repro.uarch.config.CacheConfig`).
     rng:
-        Only used by the ``random`` replacement policy.
+        Seed or Generator; only used by the ``random`` replacement
+        policy. Defaults to 0 so replacement is deterministic.
     """
 
-    def __init__(self, config: CacheConfig, rng=None):
+    def __init__(self, config: CacheConfig, rng=0):
         self.config = config
         self.stats = CacheStats()
         self._offset_bits = config.line_bytes.bit_length() - 1

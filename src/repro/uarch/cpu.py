@@ -77,10 +77,11 @@ class CPU:
     machine:
         Full machine description (see :func:`repro.uarch.config.xeon_e2186g`).
     seed:
-        Seed for the random replacement policy, if configured.
+        Seed for the random replacement policy, if configured. Defaults
+        to 0 so an unconfigured CPU is still deterministic.
     """
 
-    def __init__(self, machine: MachineConfig, seed=None):
+    def __init__(self, machine: MachineConfig, seed=0):
         self.machine = machine
         self.hierarchy = CacheHierarchy(machine, rng=seed)
         self.tlb = TwoLevelTLB(

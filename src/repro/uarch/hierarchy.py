@@ -54,7 +54,7 @@ class HierarchyCounters:
 class CacheHierarchy:
     """L1 -> L2 -> LLC demand path with optional next-line prefetch."""
 
-    def __init__(self, machine: MachineConfig, rng=None):
+    def __init__(self, machine: MachineConfig, rng=0):
         rng = np.random.default_rng(rng)
         self.l1 = SetAssociativeCache(machine.l1, rng=rng)
         self.l2 = SetAssociativeCache(machine.l2, rng=rng)

@@ -1,0 +1,235 @@
+"""Runtime array-contract sanitizer coverage.
+
+The ISSUE-level scenarios: a NaN-poisoned and a shape-mangled
+CounterMatrix fed through ``Perspector.score`` must raise
+:class:`ContractViolation` naming the offending counter column in
+strict mode, and be recorded on the scorecard in collect mode --
+plus mode plumbing, the decorator, and the clean-path no-op.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import CounterMatrix
+from repro.core.perspector import Perspector
+from repro.qa.contracts import (
+    ArraySpec,
+    ContractViolation,
+    Violation,
+    checked_array,
+    drain_violations,
+    sanitize,
+    sanitizer_mode,
+)
+
+EVENTS = ("cpu-cycles", "llc-load-misses", "branch-misses")
+WORKLOADS = ("wl0", "wl1", "wl2", "wl3", "wl4")
+
+
+def clean_values():
+    return np.random.default_rng(7).uniform(1.0, 9.0,
+                                            size=(len(WORKLOADS),
+                                                  len(EVENTS)))
+
+
+def make_matrix(values, suite_name="fixture"):
+    return CounterMatrix(workloads=WORKLOADS, events=EVENTS, values=values,
+                         suite_name=suite_name)
+
+
+def poisoned_matrix():
+    """NaN in the llc-load-misses column; built under collect mode so
+    construction is allowed through."""
+    values = clean_values()
+    values[2, 1] = np.nan
+    with sanitize("collect"):
+        return make_matrix(values, suite_name="poisoned")
+
+
+def mangled_matrix():
+    """Valid matrix whose values array is swapped post-construction for
+    one of the wrong shape (the frozen dataclass cannot prevent it --
+    ndarrays are mutable)."""
+    matrix = make_matrix(clean_values(), suite_name="mangled")
+    object.__setattr__(matrix, "values", np.ones((3, len(EVENTS))))
+    return matrix
+
+
+class TestStrictMode:
+    def test_nan_construction_raises_naming_column(self):
+        values = clean_values()
+        values[0, 1] = np.inf
+        with sanitize("strict"):
+            with pytest.raises(ContractViolation) as excinfo:
+                make_matrix(values)
+        assert "llc-load-misses" in str(excinfo.value)
+
+    def test_nan_poisoned_score_raises_naming_column(self):
+        matrix = poisoned_matrix()
+        with sanitize("strict"):
+            with pytest.raises(ContractViolation) as excinfo:
+                Perspector(seed=0).score(matrix)
+        message = str(excinfo.value)
+        assert "llc-load-misses" in message
+        assert "finite" in message
+
+    def test_shape_mangled_score_raises(self):
+        matrix = mangled_matrix()
+        with sanitize("strict"):
+            with pytest.raises(ContractViolation) as excinfo:
+                Perspector(seed=0).score(matrix)
+        assert "shape" in str(excinfo.value)
+
+    def test_clean_matrix_scores_normally(self):
+        matrix = make_matrix(clean_values())
+        with sanitize("strict"):
+            card = Perspector(seed=0).score(matrix)
+        assert np.isfinite(card.coverage)
+        assert card.violations == ()
+
+    def test_contract_violation_is_a_value_error(self):
+        assert issubclass(ContractViolation, ValueError)
+
+
+class TestCollectMode:
+    def test_nan_poisoned_score_records_on_scorecard(self):
+        matrix = poisoned_matrix()
+        with sanitize("collect"):
+            card = Perspector(seed=0).score(matrix)
+        assert not card.is_contract_clean
+        assert len(card.violations) == 1
+        violation = card.violations[0]
+        assert violation.rule == "finite"
+        assert "llc-load-misses" in violation.columns
+        # the poisoned run must not pretend to have scored anything
+        for score in ("cluster", "trend", "coverage", "spread"):
+            assert np.isnan(getattr(card, score))
+
+    def test_shape_mangled_score_records_on_scorecard(self):
+        matrix = mangled_matrix()
+        with sanitize("collect"):
+            card = Perspector(seed=0).score(matrix)
+        assert [v.rule for v in card.violations] == ["shape"]
+
+    def test_clean_run_collects_nothing(self):
+        matrix = make_matrix(clean_values())
+        with sanitize("collect"):
+            card = Perspector(seed=0).score(matrix)
+        assert card.is_contract_clean
+        assert np.isfinite(card.spread)
+
+    def test_collector_drained_between_scores(self):
+        with sanitize("collect"):
+            poisoned = Perspector(seed=0).score(poisoned_matrix())
+            clean = Perspector(seed=0).score(make_matrix(clean_values()))
+        assert not poisoned.is_contract_clean
+        assert clean.is_contract_clean
+
+
+class TestOffMode:
+    def test_default_mode_is_off(self):
+        assert sanitizer_mode() == "off"
+
+    def test_nan_construction_keeps_legacy_value_error(self):
+        values = clean_values()
+        values[1, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            make_matrix(values)
+
+    def test_mode_restored_after_block(self):
+        with sanitize("collect"):
+            assert sanitizer_mode() == "collect"
+            with sanitize("strict"):
+                assert sanitizer_mode() == "strict"
+            assert sanitizer_mode() == "collect"
+        assert sanitizer_mode() == "off"
+
+    def test_boolean_shorthand(self):
+        with sanitize(True):
+            assert sanitizer_mode() == "strict"
+        with sanitize(False):
+            assert sanitizer_mode() == "off"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            with sanitize("verbose"):
+                pass
+
+
+class TestCheckedArrayDecorator:
+    def test_violating_argument_raises_in_strict(self):
+        @checked_array(x=ArraySpec(ndim=2, finite=True))
+        def kernel(x):
+            return float(np.sum(x))
+
+        bad = np.array([[1.0, np.nan]])
+        with sanitize("strict"):
+            with pytest.raises(ContractViolation):
+                kernel(bad)
+
+    def test_wrong_ndim_raises_in_strict(self):
+        @checked_array(x=ArraySpec(ndim=2))
+        def kernel(x):
+            return x
+
+        with sanitize("strict"):
+            with pytest.raises(ContractViolation, match="2-D"):
+                kernel(np.ones(4))
+
+    def test_off_mode_passes_through(self):
+        @checked_array(x=ArraySpec(ndim=2, finite=True))
+        def kernel(x):
+            return float(np.nansum(x))
+
+        assert kernel(np.array([[1.0, np.nan]])) == 1.0
+
+    def test_unknown_parameter_rejected_at_decoration_time(self):
+        with pytest.raises(TypeError, match="no parameter"):
+            @checked_array(y=ArraySpec(ndim=2))
+            def kernel(x):
+                return x
+
+    def test_collect_mode_records_and_proceeds(self):
+        @checked_array(x=ArraySpec(ndim=1, finite=True))
+        def kernel(x):
+            return float(np.nansum(x))
+
+        with sanitize("collect") as collected:
+            result = kernel(np.array([2.0, np.nan]))
+            assert result == 2.0
+            assert len(collected) == 1
+            assert collected[0].rule == "finite"
+            drained = drain_violations()
+        assert len(drained) == 1
+        assert isinstance(drained[0], Violation)
+
+
+class TestFullPipelineUnderStrict:
+    def test_simulated_suite_scores_cleanly(self):
+        # The whole simulate -> measure -> score stack satisfies its own
+        # contracts (PerfSession output check included).
+        from repro.perf.session import PerfSession
+        from repro.workloads.synthetic import make_synthetic_suite
+
+        suite = make_synthetic_suite(n_workloads=5, seed=3, name="qa-e2e")
+        session = PerfSession(n_intervals=6, ops_per_interval=300, seed=3)
+        with sanitize("strict"):
+            card = Perspector(session=session, seed=3).score(suite)
+        assert np.isfinite(card.coverage)
+        assert np.isfinite(card.trend)
+        assert card.violations == ()
+
+    def test_nan_series_caught_at_boundary(self):
+        values = clean_values()
+        series = {
+            EVENTS[0]: [np.linspace(0, 10, 20) for _ in WORKLOADS],
+        }
+        series[EVENTS[0]][3] = np.array([1.0, np.nan, 3.0])
+        with sanitize("collect"):
+            matrix = CounterMatrix(workloads=WORKLOADS, events=EVENTS,
+                                   values=values, series=series,
+                                   suite_name="nan-series")
+        with sanitize("strict"):
+            with pytest.raises(ContractViolation) as excinfo:
+                Perspector(seed=0).score(matrix)
+        assert EVENTS[0] in str(excinfo.value)

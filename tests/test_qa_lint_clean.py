@@ -1,0 +1,30 @@
+"""The clean-tree gate: ``repro lint src/repro`` must stay at zero.
+
+This is the pytest face of the static-analysis pass -- any new finding
+in the library tree fails CI here with the same ``file:line rule-id``
+diagnostics the CLI prints. Fix the code (or, for a justified
+exception, add a per-line ``# qa-ignore[rule-id]``) rather than
+loosening the rules.
+"""
+
+from pathlib import Path
+
+from repro.qa.lint import iter_python_files, lint_paths
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def test_source_tree_exists():
+    assert SRC.is_dir()
+
+
+def test_tree_is_lint_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n" + "\n".join(str(f) for f in findings)
+
+
+def test_linter_actually_saw_the_tree():
+    # Guard against a silently-empty walk making the gate vacuous.
+    files = iter_python_files([SRC])
+    assert len(files) > 50
+    assert any(f.name == "perspector.py" for f in files)

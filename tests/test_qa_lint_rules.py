@@ -1,0 +1,425 @@
+"""Per-rule linter coverage: a triggering snippet, a clean snippet and
+the suppression comment for every rule, plus CLI exit codes."""
+
+import textwrap
+
+import pytest
+
+from repro.qa.lint import lint_paths, lint_source
+
+
+def lint(source, path="src/repro/core/snippet.py"):
+    return lint_source(textwrap.dedent(source), path=path)
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# -- rng-discipline ----------------------------------------------------------
+
+
+class TestRngDiscipline:
+    def test_module_level_rng_call_flagged(self):
+        findings = lint("""\
+            import numpy as np
+
+            x = np.random.rand(3)
+        """)
+        assert rule_ids(findings) == ["rng-discipline"]
+        assert "np.random.rand" in findings[0].message
+        assert findings[0].line == 3
+
+    def test_np_random_seed_flagged(self):
+        findings = lint("""\
+            import numpy as np
+
+            np.random.seed(42)
+        """)
+        assert rule_ids(findings) == ["rng-discipline"]
+
+    def test_unseeded_default_rng_flagged(self):
+        findings = lint("""\
+            import numpy as np
+
+            rng = np.random.default_rng()
+        """)
+        assert rule_ids(findings) == ["rng-discipline"]
+        assert "unseeded" in findings[0].message
+
+    def test_default_rng_literal_none_flagged(self):
+        findings = lint("""\
+            from numpy.random import default_rng
+
+            rng = default_rng(None)
+        """)
+        assert rule_ids(findings) == ["rng-discipline"]
+
+    def test_none_default_parameter_flagged(self):
+        findings = lint("""\
+            import numpy as np
+
+            def sample(n, rng=None):
+                rng = np.random.default_rng(rng)
+                return rng.uniform(size=n)
+        """)
+        assert rule_ids(findings) == ["rng-discipline"]
+        assert "'rng'" in findings[0].message
+
+    def test_none_default_dataclass_field_flagged(self):
+        findings = lint("""\
+            from dataclasses import dataclass
+
+            import numpy as np
+
+            @dataclass
+            class Sampler:
+                seed: int = None
+
+                def draw(self):
+                    return np.random.default_rng(self.seed).uniform()
+        """)
+        assert rule_ids(findings) == ["rng-discipline"]
+        assert "'seed'" in findings[0].message
+
+    def test_seeded_generator_clean(self):
+        findings = lint("""\
+            import numpy as np
+
+            def sample(n, rng=0):
+                rng = np.random.default_rng(rng)
+                return rng.uniform(size=n)
+        """)
+        assert findings == []
+
+    def test_tests_directory_exempt(self):
+        findings = lint(
+            "import numpy as np\nx = np.random.rand(3)\n",
+            path="tests/test_whatever.py",
+        )
+        assert findings == []
+
+    def test_suppression_comment(self):
+        findings = lint("""\
+            import numpy as np
+
+            x = np.random.rand(3)  # qa-ignore[rng-discipline]
+        """)
+        assert findings == []
+
+
+# -- arg-mutation ------------------------------------------------------------
+
+
+class TestArgumentMutation:
+    def test_subscript_write_flagged(self):
+        findings = lint("""\
+            def clamp(x):
+                x[x < 0] = 0.0
+                return x
+        """)
+        assert rule_ids(findings) == ["arg-mutation"]
+        assert "'x'" in findings[0].message
+
+    def test_augmented_subscript_write_flagged(self):
+        findings = lint("""\
+            def bump(values):
+                values[0] += 1.0
+                return values
+        """)
+        assert rule_ids(findings) == ["arg-mutation"]
+
+    def test_out_keyword_flagged(self):
+        findings = lint("""\
+            import numpy as np
+
+            def clip01(x):
+                np.clip(x, 0.0, 1.0, out=x)
+                return x
+        """)
+        assert rule_ids(findings) == ["arg-mutation"]
+        assert "out=x" in findings[0].message
+
+    def test_numpy_mutator_function_flagged(self):
+        findings = lint("""\
+            import numpy as np
+
+            def zero_diag(d):
+                np.fill_diagonal(d, 0.0)
+                return d
+        """)
+        assert rule_ids(findings) == ["arg-mutation"]
+
+    def test_ndarray_mutator_method_flagged(self):
+        findings = lint("""\
+            def order(x):
+                x.sort()
+                return x
+        """)
+        assert rule_ids(findings) == ["arg-mutation"]
+
+    def test_rebound_parameter_clean(self):
+        findings = lint("""\
+            import numpy as np
+
+            def clamp(x):
+                x = np.asarray(x, dtype=float).copy()
+                x[x < 0] = 0.0
+                return x
+        """)
+        assert findings == []
+
+    def test_local_array_clean(self):
+        findings = lint("""\
+            import numpy as np
+
+            def squares(n):
+                out = np.empty(n)
+                out[:] = np.arange(n) ** 2
+                return out
+        """)
+        assert findings == []
+
+    def test_rule_scoped_to_kernels(self):
+        source = "def clamp(x):\n    x[0] = 1.0\n    return x\n"
+        assert lint(source, path="src/repro/workloads/thing.py") == []
+        assert rule_ids(lint(source, path="src/repro/stats/thing.py")) == \
+            ["arg-mutation"]
+
+    def test_suppression_comment(self):
+        findings = lint("""\
+            def clamp(x):
+                x[x < 0] = 0.0  # qa-ignore[arg-mutation]
+                return x
+        """)
+        assert findings == []
+
+
+# -- float-equality ----------------------------------------------------------
+
+
+class TestFloatEquality:
+    def test_equality_against_float_literal_flagged(self):
+        findings = lint("""\
+            def is_paper_target(v):
+                return v == 0.98
+        """)
+        assert rule_ids(findings) == ["float-equality"]
+
+    def test_not_equal_flagged(self):
+        findings = lint("""\
+            def differs(v):
+                return v != -0.5
+        """)
+        assert rule_ids(findings) == ["float-equality"]
+
+    def test_integer_literal_clean(self):
+        findings = lint("""\
+            def is_zero(step):
+                return step == 0
+        """)
+        assert findings == []
+
+    def test_ordering_comparison_clean(self):
+        findings = lint("""\
+            def below(v):
+                return v <= 0.5
+        """)
+        assert findings == []
+
+    def test_suppression_comment(self):
+        findings = lint("""\
+            def is_paper_target(v):
+                return v == 0.98  # qa-ignore[float-equality]
+        """)
+        assert findings == []
+
+
+# -- overbroad-except --------------------------------------------------------
+
+
+class TestOverbroadExcept:
+    def test_bare_except_flagged(self):
+        findings = lint("""\
+            def safe(f):
+                try:
+                    return f()
+                except:
+                    return None
+        """)
+        assert rule_ids(findings) == ["overbroad-except"]
+
+    def test_except_exception_flagged(self):
+        findings = lint("""\
+            def safe(f):
+                try:
+                    return f()
+                except Exception:
+                    return None
+        """)
+        assert rule_ids(findings) == ["overbroad-except"]
+
+    def test_specific_exception_clean(self):
+        findings = lint("""\
+            def safe(f):
+                try:
+                    return f()
+                except ValueError:
+                    return None
+        """)
+        assert findings == []
+
+    def test_reraising_handler_clean(self):
+        findings = lint("""\
+            def logged(f, log):
+                try:
+                    return f()
+                except Exception:
+                    log.error("boom")
+                    raise
+        """)
+        assert findings == []
+
+    def test_suppression_comment(self):
+        findings = lint("""\
+            def safe(f):
+                try:
+                    return f()
+                except Exception:  # qa-ignore[overbroad-except]
+                    return None
+        """)
+        assert findings == []
+
+
+# -- all-drift ---------------------------------------------------------------
+
+INIT = "src/repro/fakepkg/__init__.py"
+
+
+class TestAllDrift:
+    def test_missing_all_flagged(self):
+        findings = lint("from fakepkg.mod import thing\n", path=INIT)
+        assert rule_ids(findings) == ["all-drift"]
+        assert "no __all__" in findings[0].message
+
+    def test_name_missing_from_all_flagged(self):
+        findings = lint("""\
+            from fakepkg.mod import thing, other
+
+            __all__ = ["thing"]
+        """, path=INIT)
+        assert rule_ids(findings) == ["all-drift"]
+        assert "'other'" in findings[0].message
+
+    def test_stale_all_entry_flagged(self):
+        findings = lint("""\
+            from fakepkg.mod import thing
+
+            __all__ = ["thing", "ghost"]
+        """, path=INIT)
+        assert rule_ids(findings) == ["all-drift"]
+        assert "'ghost'" in findings[0].message
+
+    def test_consistent_init_clean(self):
+        findings = lint("""\
+            from fakepkg.mod import thing, other
+
+            __all__ = ["thing", "other"]
+        """, path=INIT)
+        assert findings == []
+
+    def test_pep562_lazy_exports_clean(self):
+        findings = lint("""\
+            _EXPORTS = {"thing": "fakepkg.mod"}
+
+            __all__ = ["thing"]
+
+            def __getattr__(name):
+                import importlib
+
+                return getattr(importlib.import_module(_EXPORTS[name]), name)
+        """, path=INIT)
+        assert findings == []
+
+    def test_non_init_module_exempt(self):
+        findings = lint("from fakepkg.mod import thing\n",
+                        path="src/repro/fakepkg/mod.py")
+        assert findings == []
+
+    def test_suppression_comment(self):
+        findings = lint("""\
+            from fakepkg.mod import thing  # qa-ignore[all-drift]
+
+            __all__ = []
+        """, path=INIT)
+        assert findings == []
+
+
+# -- engine behaviour --------------------------------------------------------
+
+
+class TestEngine:
+    def test_parse_error_reported_as_finding(self):
+        findings = lint("def broken(:\n")
+        assert rule_ids(findings) == ["parse-error"]
+
+    def test_bare_suppression_covers_all_rules(self):
+        findings = lint("""\
+            import numpy as np
+
+            x = np.random.rand(3)  # qa-ignore
+        """)
+        assert findings == []
+
+    def test_suppression_only_covers_listed_rules(self):
+        findings = lint("""\
+            import numpy as np
+
+            x = np.random.rand(3)  # qa-ignore[float-equality]
+        """)
+        assert rule_ids(findings) == ["rng-discipline"]
+
+    def test_findings_carry_location(self):
+        findings = lint("x = 1.0 == 1.0\n")
+        assert findings[0].path.endswith("snippet.py")
+        assert findings[0].line == 1
+        assert str(findings[0]).startswith(findings[0].path + ":1 ")
+
+    def test_lint_paths_on_fixture_tree(self, tmp_path):
+        pkg = tmp_path / "core"
+        pkg.mkdir()
+        (pkg / "dirty.py").write_text(
+            "import numpy as np\nx = np.random.rand(3)\n"
+        )
+        (pkg / "clean.py").write_text("VALUE = 1\n")
+        findings = lint_paths([tmp_path])
+        assert rule_ids(findings) == ["rng-discipline"]
+        assert findings[0].path.endswith("dirty.py")
+
+
+class TestCli:
+    def test_cli_lint_clean_file_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "clean.py"
+        target.write_text("VALUE = 1\n")
+        assert main(["lint", str(target)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_cli_lint_dirty_file_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "dirty.py"
+        target.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        assert main(["lint", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert f"{target}:2 rng-discipline" in out
+
+    def test_cli_list_rules(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("rng-discipline", "arg-mutation", "float-equality",
+                        "overbroad-except", "all-drift"):
+            assert rule_id in out
