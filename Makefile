@@ -1,12 +1,14 @@
 # Development targets. `make qa` is the pre-merge gate documented in
 # benchmarks/README.md: the in-tree static-analysis pass, ruff, mypy
 # (both skipped with a notice when not installed) and the bit-for-bit
-# determinism checker.
+# determinism checker (which also proves the parallel scoring engine
+# bit-identical at workers=2). `make bench` includes the engine's
+# cold-vs-warm cache bench, guarded by the BENCH_engine.json baseline.
 
 PYTHON ?= python
 RUN = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
 
-.PHONY: qa lint ruff mypy determinism test bench
+.PHONY: qa lint ruff mypy determinism test bench bench-engine
 
 qa: lint ruff mypy determinism
 	@echo "qa: all gates passed"
@@ -29,10 +31,13 @@ mypy:
 	fi
 
 determinism:
-	$(RUN) -m repro.qa.determinism
+	$(RUN) -m repro.qa.determinism --workers 2
 
 test:
 	$(RUN) -m pytest -x -q
 
-bench:
+bench: bench-engine
 	$(RUN) -m pytest benchmarks -q
+
+bench-engine:
+	$(RUN) -m repro.engine.bench --check

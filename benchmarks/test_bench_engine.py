@@ -1,0 +1,40 @@
+"""Bench: scoring-engine cold-vs-warm cache speedup.
+
+Unlike the figure benches this regenerates no paper artifact; it guards
+the engine's performance contract from DESIGN.md §7 -- warm-cache
+re-scoring of a SPEC'17-sized subset experiment must be at least 3x
+faster than cold (the committed ``BENCH_engine.json`` baseline), and
+the warm results must be bit-identical to the cold ones.
+"""
+
+import json
+import pathlib
+
+from repro.engine.bench import MIN_SPEEDUP, run_bench
+
+from conftest import run_once
+
+BASELINE = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_engine.json"
+
+
+def test_engine_warm_cache_speedup(benchmark):
+    result = run_once(benchmark, run_bench)
+    print()
+    from repro.engine.bench import render
+
+    print(render(result))
+
+    assert result["identical"], "warm results drifted from cold results"
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"warm-cache speedup {result['speedup']:.1f}x is below the "
+        f"{MIN_SPEEDUP:.0f}x contract"
+    )
+
+
+def test_baseline_file_is_committed_and_consistent():
+    assert BASELINE.exists(), "BENCH_engine.json baseline missing"
+    baseline = json.loads(BASELINE.read_text())
+    assert baseline["min_speedup"] == MIN_SPEEDUP
+    assert baseline["identical"] is True
+    assert baseline["speedup"] >= baseline["min_speedup"]

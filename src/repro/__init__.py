@@ -39,6 +39,7 @@ _CORE_EXPORTS = {
     "trend_score": "repro.core",
     "coverage_score": "repro.core",
     "spread_score": "repro.core",
+    "Engine": "repro.engine",
     "EventFocus": "repro.core.focus",
     "LHSSubsetGenerator": "repro.core.subset",
     "SubsetReport": "repro.core.subset",

@@ -11,7 +11,10 @@
     perspector qa [--seed N]
 
 Scoring commands run the simulation stack end-to-end; ``--quick``
-switches to the short-trace preset. ``lint`` runs the project's
+switches to the short-trace preset. ``score``, ``compare``, ``subset``
+and ``experiment`` accept ``--workers N`` (parallel scoring fan-out) and
+``--no-cache`` (disable the engine's kernel cache); neither flag changes
+any output bit. ``lint`` runs the project's
 static-analysis pass (:mod:`repro.qa.lint`) and ``qa`` the bit-for-bit
 determinism checker (:mod:`repro.qa.determinism`). The ``repro``
 console script is an alias of this one, so ``repro lint src/repro``
@@ -22,10 +25,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
-from repro.core.perspector import Perspector
 from repro.core.subset import LHSSubsetGenerator
-from repro.experiments.runner import ExperimentConfig, measure_suites
+from repro.experiments.runner import (
+    ExperimentConfig,
+    measure_suites,
+    perspector_for,
+)
 from repro.workloads import available_suites
 
 _EXPERIMENTS = {
@@ -43,9 +50,14 @@ _EXPERIMENTS = {
 }
 
 
-def _config(args):
-    return (ExperimentConfig.quick() if args.quick
-            else ExperimentConfig.full())
+def _config(args, default_preset=ExperimentConfig.full):
+    config = (ExperimentConfig.quick() if args.quick
+              else default_preset())
+    return replace(
+        config,
+        workers=getattr(args, "workers", 1),
+        cache=not getattr(args, "no_cache", False),
+    )
 
 
 def _cmd_suites(args):
@@ -57,8 +69,7 @@ def _cmd_suites(args):
 def _cmd_score(args):
     config = _config(args)
     matrix = measure_suites([args.suite], config)[args.suite]
-    card = Perspector(seed=config.metric_seed).score(matrix,
-                                                     focus=args.focus)
+    card = perspector_for(config).score(matrix, focus=args.focus)
     print(card)
     return 0
 
@@ -66,7 +77,7 @@ def _cmd_score(args):
 def _cmd_compare(args):
     config = _config(args)
     matrices = measure_suites(args.suites, config)
-    perspector = Perspector(seed=config.metric_seed)
+    perspector = perspector_for(config)
     comparison = perspector.compare(
         *[matrices[s] for s in args.suites], focus=args.focus
     )
@@ -83,11 +94,14 @@ def _cmd_compare(args):
 
 
 def _cmd_subset(args):
+    from repro.engine import Engine
+
     config = _config(args)
     matrix = measure_suites([args.suite], config)[args.suite]
     report = LHSSubsetGenerator(
         subset_size=args.size, seed=config.metric_seed
-    ).report(matrix, seed=config.metric_seed)
+    ).report(matrix, seed=config.metric_seed,
+             engine=Engine.from_config(config))
     print(report)
     return 0
 
@@ -104,23 +118,50 @@ def _cmd_lint(args):
 def _cmd_qa(args):
     from repro.qa.determinism import main as determinism_main
 
-    argv = ["--seed", str(args.seed), "--focus", args.focus]
+    argv = ["--seed", str(args.seed), "--focus", args.focus,
+            "--workers", str(args.workers)]
     if args.full:
         argv.append("--full")
     return determinism_main(argv)
+
+
+#: Drivers that default to the quick preset when run without --quick
+#: (their full-preset runtime is prohibitive for an interactive CLI).
+_QUICK_BY_DEFAULT = {"stability"}
+
+#: Drivers whose run() takes no ExperimentConfig at all.
+_NO_CONFIG = {"fig2", "mux", "machine"}
 
 
 def _cmd_experiment(args):
     import importlib
 
     module = importlib.import_module(_EXPERIMENTS[args.name])
-    kwargs = {}
-    if args.quick:
-        kwargs["config"] = ExperimentConfig.quick()
-    if args.name in ("fig2", "mux", "machine"):
-        kwargs = {}  # these drivers take no config
+    if args.name in _NO_CONFIG:
+        kwargs = {}
+    else:
+        preset = (ExperimentConfig.quick
+                  if args.name in _QUICK_BY_DEFAULT
+                  else ExperimentConfig.full)
+        kwargs = {"config": _config(args, default_preset=preset)}
     print(module.render(module.run(**kwargs)))
     return 0
+
+
+def _add_engine_flags(p):
+    """Scoring-engine knobs shared by every scoring subcommand. Neither
+    flag changes any output bit; both only trade speed for resources."""
+    p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the scoring engine's parallel "
+             "fan-out (default 1 = serial; results are bit-identical "
+             "for any value)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the engine's content-addressed kernel cache "
+             "(results are bit-identical either way)",
+    )
 
 
 def build_parser():
@@ -138,6 +179,7 @@ def build_parser():
     p_score.add_argument("suite", choices=available_suites())
     p_score.add_argument("--focus", default="all",
                          choices=["all", "llc", "tlb", "branch", "core"])
+    _add_engine_flags(p_score)
 
     p_cmp = sub.add_parser("compare", help="compare suites jointly")
     p_cmp.add_argument("suites", nargs="+", choices=available_suites())
@@ -147,13 +189,16 @@ def build_parser():
                        help="also write the comparison as CSV")
     p_cmp.add_argument("--bars", action="store_true",
                        help="print bar panels per score")
+    _add_engine_flags(p_cmp)
 
     p_sub = sub.add_parser("subset", help="LHS subset generation")
     p_sub.add_argument("suite", choices=available_suites())
     p_sub.add_argument("--size", type=int, default=8)
+    _add_engine_flags(p_sub)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    _add_engine_flags(p_exp)
 
     p_lint = sub.add_parser(
         "lint", help="run the QA static-analysis pass over the tree"
@@ -171,6 +216,11 @@ def build_parser():
                       choices=["all", "llc", "tlb", "branch", "core"])
     p_qa.add_argument("--full", action="store_true",
                       help="full-length traces (slower)")
+    p_qa.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="also check engine invariance at this worker count "
+             "(scorecards must be bit-identical to the serial path)",
+    )
 
     p_rep = sub.add_parser(
         "report", help="full suite report (scores + characterization)"

@@ -51,7 +51,7 @@ class ClusterScoreResult:
 
 @checked_array(matrix=ArraySpec(ndim=2, finite=True))
 def cluster_score(matrix, seed=0, n_restarts=8, normalize=True,
-                  per_cluster_average=True):
+                  per_cluster_average=True, kernels=None):
     """Compute the ClusterScore of a suite (Eq. 6).
 
     Parameters
@@ -69,6 +69,11 @@ def cluster_score(matrix, seed=0, n_restarts=8, normalize=True,
     per_cluster_average:
         Use the paper's Eq. 5 cluster-weighted silhouette (default) or
         the conventional sample-weighted mean (ablation knob).
+    kernels:
+        Optional kernel provider with a ``kmeans_sweep`` hook (see
+        :class:`repro.engine.Engine`); replaces the serial per-k
+        K-means loop with a cached/parallel one. The per-k seeds are
+        drawn from one stream either way, so results are bit-identical.
 
     Returns
     -------
@@ -90,15 +95,25 @@ def cluster_score(matrix, seed=0, n_restarts=8, normalize=True,
         x = normalize_matrix(x)
 
     distances = pairwise_distances(x)
+    # Per-k seeds come from one stream drawn up front, so a cached or
+    # parallel sweep (the `kernels` hook) sees the exact seeds the
+    # serial loop would.
     rng = np.random.default_rng(seed)
+    ks = list(range(2, n))
+    kseeds = {k: int(rng.integers(2 ** 31)) for k in ks}
+    if kernels is not None:
+        labels_by_k = kernels.kmeans_sweep(x, kseeds, n_restarts)
+    else:
+        labels_by_k = {
+            k: KMeans(k=k, seed=kseeds[k], n_restarts=n_restarts).fit(x).labels
+            for k in ks
+        }
     per_k = {}
     best_k = 2
     best_score = -np.inf
     best_labels = None
-    for k in range(2, n):
-        km = KMeans(k=k, seed=int(rng.integers(2 ** 31)),
-                    n_restarts=n_restarts)
-        labels = km.fit(x).labels
+    for k in ks:
+        labels = labels_by_k[k]
         score = silhouette_score(
             x, labels, precomputed_distances=distances,
             per_cluster=per_cluster_average,

@@ -15,16 +15,13 @@ joint Eq. 9-10 normalization, which is the paper's Fig. 3 setting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
-from repro.core.cluster_score import cluster_score
-from repro.core.coverage_score import DEFAULT_VARIANCE, coverage_score
+from repro.core.coverage_score import DEFAULT_VARIANCE
 from repro.core.focus import EventFocus, apply_focus
 from repro.core.matrix import CounterMatrix
 from repro.core.normalization import normalize_matrices_jointly
 from repro.core.report import SuiteComparison, SuiteScorecard
-from repro.core.spread_score import spread_score
-from repro.core.trend_score import trend_score
 from repro.qa import contracts
 
 
@@ -47,6 +44,15 @@ class PerspectorConfig:
         Eq. 14 reading: ``workloads`` (paper-literal) or ``events``.
     seed:
         Seed for K-means and any sampled variants.
+    workers:
+        Worker processes for the scoring engine's parallel fan-out
+        (per-event DTW matrices, per-k K-means, per-suite comparison
+        scoring). ``1`` (the default) keeps the serial path; any value
+        produces bit-identical scorecards.
+    cache:
+        Enable the engine's content-addressed kernel cache. Results are
+        bit-identical with the cache on or off; turning it off trades
+        speed for memory.
     """
 
     pca_variance: float = DEFAULT_VARIANCE
@@ -55,6 +61,8 @@ class PerspectorConfig:
     kmeans_restarts: int = 8
     spread_axis: str = "workloads"
     seed: int = 0
+    workers: int = 1
+    cache: bool = True
 
 
 class Perspector:
@@ -69,14 +77,30 @@ class Perspector:
     config:
         Metric configuration.
     seed:
-        Shorthand that overrides ``config.seed``.
+        Shorthand that overrides ``config.seed``. The caller's config
+        object is never mutated: the override lands on a private copy.
+    engine:
+        Optional :class:`repro.engine.Engine` to score through (shared
+        engines let several Perspectors reuse one kernel cache). By
+        default one is built from ``config.workers`` / ``config.cache``.
     """
 
-    def __init__(self, session=None, config=None, seed=None):
-        self.config = config if config is not None else PerspectorConfig()
+    def __init__(self, session=None, config=None, seed=None, engine=None):
+        config = config if config is not None else PerspectorConfig()
         if seed is not None:
-            self.config.seed = seed
+            config = replace(config, seed=seed)
+        self.config = config
         self._session = session
+        self._engine = engine
+
+    @property
+    def engine(self):
+        if self._engine is None:
+            from repro.engine import Engine
+
+            self._engine = Engine(cache=self.config.cache,
+                                  workers=self.config.workers)
+        return self._engine
 
     @property
     def session(self):
@@ -129,14 +153,21 @@ class Perspector:
                     f"{events} vs {m.events}"
                 )
         normalized = normalize_matrices_jointly(*matrices)
-        scorecards = tuple(
-            self._score_matrix(m, focus, normalize=False)
-            for m in normalized
-        )
+        if self.config.workers > 1 and not contracts.sanitizer_active():
+            # Fan per-suite scoring across the engine's worker pool;
+            # results come back in input order so the comparison is
+            # bit-identical to the serial path.
+            scorecards = tuple(self.engine.score_matrices(
+                normalized, self.config, focus.value, normalize=False,
+            ))
+        else:
+            scorecards = tuple(
+                self._score_matrix(m, focus, normalize=False)
+                for m in normalized
+            )
         return SuiteComparison(scorecards=scorecards, focus=focus.value)
 
     def _score_matrix(self, matrix, focus, normalize):
-        cfg = self.config
         if contracts.sanitizer_active():
             where = f"Perspector.score({matrix.suite_name or '<unnamed>'})"
             # Strict mode raises ContractViolation here, naming the
@@ -160,49 +191,10 @@ class Perspector:
                         details={},
                         violations=tuple(pending),
                     )
-        if matrix.n_workloads >= 4:
-            cluster = cluster_score(
-                matrix, seed=cfg.seed, n_restarts=cfg.kmeans_restarts,
-                normalize=normalize,
-            )
-            cluster_value = cluster.value
-        else:
-            # The Eq. 6 sweep needs k in [2, n-1]: undefined below 4
-            # workloads.
-            cluster = None
-            cluster_value = float("nan")
-        coverage = coverage_score(
-            matrix, variance=cfg.pca_variance, normalize=normalize
+        card = self.engine.score_matrix(
+            matrix, self.config, focus.value, normalize=normalize,
         )
-        spread = spread_score(
-            matrix, normalize=normalize, axis=cfg.spread_axis
-        )
-        if matrix.has_series:
-            trend = trend_score(
-                matrix, n_points=cfg.trend_points, band=cfg.dtw_band
-            )
-            trend_value = trend.value
-        else:
-            trend = None
-            trend_value = float("nan")
-        details = {
-            "coverage": coverage,
-            "spread": spread,
-        }
-        if cluster is not None:
-            details["cluster"] = cluster
-        if trend is not None:
-            details["trend"] = trend
-        violations = ()
         if contracts.sanitizer_mode() == contracts.MODE_COLLECT:
-            violations = tuple(contracts.drain_violations())
-        return SuiteScorecard(
-            suite_name=matrix.suite_name or "<unnamed>",
-            focus=focus.value,
-            cluster=cluster_value,
-            trend=trend_value,
-            coverage=coverage.value,
-            spread=spread.value,
-            details=details,
-            violations=violations,
-        )
+            card = replace(card,
+                           violations=tuple(contracts.drain_violations()))
+        return card

@@ -126,7 +126,7 @@ class LHSSubsetGenerator:
         chosen = _greedy_unique_match(design, normalized)
         return tuple(matrix.workloads[i] for i in chosen)
 
-    def report(self, matrix, seed=0, full_scores=None):
+    def report(self, matrix, seed=0, full_scores=None, engine=None):
         """Choose a subset and score its fidelity (Section IV-C).
 
         The subset's matrix is normalized with the *full suite's* bounds
@@ -134,6 +134,9 @@ class LHSSubsetGenerator:
         passed in when the caller already computed them (scoring a large
         suite's TrendScore is the expensive part; experiment drivers
         compare many subsetting methods against one full-suite baseline).
+        Alternatively, pass a shared :class:`repro.engine.Engine` as
+        ``engine`` and repeated kernel work (full-suite scores, K-means
+        fits, DTW pairs) is memoized across reports.
 
         Returns
         -------
@@ -143,9 +146,9 @@ class LHSSubsetGenerator:
         subset_matrix = matrix.select_workloads(selected)
 
         if full_scores is None:
-            full_scores = _scores(matrix, seed=seed)
+            full_scores = _scores(matrix, seed=seed, engine=engine)
         subset_scores = _scores(subset_matrix, seed=seed,
-                                bounds_from=matrix)
+                                bounds_from=matrix, engine=engine)
 
         deviations = {}
         for name, full_value in full_scores.items():
@@ -164,9 +167,12 @@ class LHSSubsetGenerator:
         )
 
 
-def _scores(matrix, seed=0, bounds_from=None):
+def _scores(matrix, seed=0, bounds_from=None, engine=None):
     """The four scores of one matrix; optionally normalized with another
-    matrix's per-event bounds (for subset-vs-full comparability)."""
+    matrix's per-event bounds (for subset-vs-full comparability).
+
+    With an ``engine``, the kernels run through its content-addressed
+    cache -- results are bit-identical, repeats are free."""
     if bounds_from is not None:
         lo = bounds_from.values.min(axis=0)
         hi = bounds_from.values.max(axis=0)
@@ -183,22 +189,32 @@ def _scores(matrix, seed=0, bounds_from=None):
     else:
         normalize = True
 
+    if engine is not None:
+        _cluster = engine.cluster_score
+        _coverage = engine.coverage_score
+        _spread = engine.spread_score
+        _trend = engine.trend_score
+    else:
+        _cluster, _coverage = cluster_score, coverage_score
+        _spread, _trend = spread_score, trend_score
+
     out = {}
     if matrix.n_workloads >= 4:
-        out["cluster"] = cluster_score(matrix, seed=seed,
-                                       normalize=normalize).value
+        out["cluster"] = _cluster(matrix, seed=seed,
+                                  normalize=normalize).value
     else:
         out["cluster"] = float("nan")
-    out["coverage"] = coverage_score(matrix, normalize=normalize).value
-    out["spread"] = spread_score(matrix, normalize=normalize).value
+    out["coverage"] = _coverage(matrix, normalize=normalize).value
+    out["spread"] = _spread(matrix, normalize=normalize).value
     if matrix.has_series:
-        out["trend"] = trend_score(matrix).value
+        out["trend"] = _trend(matrix).value
     else:
         out["trend"] = float("nan")
     return out
 
 
-def random_subset_report(matrix, subset_size, seed=0, full_scores=None):
+def random_subset_report(matrix, subset_size, seed=0, full_scores=None,
+                         engine=None):
     """Baseline: a uniformly random subset of the same size, scored the
     same way (used by the ablation bench to show LHS beats chance)."""
     rng = np.random.default_rng(seed)
@@ -209,8 +225,9 @@ def random_subset_report(matrix, subset_size, seed=0, full_scores=None):
     )
     subset_matrix = matrix.select_workloads(names)
     if full_scores is None:
-        full_scores = _scores(matrix, seed=seed)
-    subset_scores = _scores(subset_matrix, seed=seed, bounds_from=matrix)
+        full_scores = _scores(matrix, seed=seed, engine=engine)
+    subset_scores = _scores(subset_matrix, seed=seed, bounds_from=matrix,
+                            engine=engine)
     deviations = {}
     for key, full_value in full_scores.items():
         sub_value = subset_scores[key]

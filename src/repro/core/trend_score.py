@@ -61,7 +61,8 @@ def event_trend_score(series_list, n_points=100, band=None, normalize=True,
         Apply the Fig. 1 CDF/percentile normalization first (the paper
         always does).
     cdf:
-        ``"pooled"`` (default) or ``"per_series"`` -- see
+        CDF reading for the normalization: ``"quantized"`` (default),
+        ``"pooled"`` or ``"per_series"`` -- see
         :func:`repro.core.normalization.normalize_series_set`.
 
     Returns
@@ -82,7 +83,7 @@ def event_trend_score(series_list, n_points=100, band=None, normalize=True,
 
 
 def trend_score(matrix_or_series, events=None, n_points=100, band=None,
-                normalize=True, cdf="quantized"):
+                normalize=True, cdf="quantized", kernels=None):
     """Compute the TrendScore of a suite (Eq. 8).
 
     Parameters
@@ -92,6 +93,14 @@ def trend_score(matrix_or_series, events=None, n_points=100, band=None,
         ``{event: [series, ...]}`` dict.
     events:
         Restrict to these events (default: every event with series).
+    n_points / band / normalize / cdf:
+        Forwarded to :func:`event_trend_score`; ``cdf`` accepts
+        ``"quantized"`` (default), ``"pooled"`` or ``"per_series"``.
+    kernels:
+        Optional kernel provider with an ``event_trend_scores`` hook
+        (see :class:`repro.engine.Engine`); replaces the serial
+        per-event loop with a cached/parallel one. Results are
+        bit-identical either way.
 
     Returns
     -------
@@ -117,13 +126,19 @@ def trend_score(matrix_or_series, events=None, n_points=100, band=None,
         if missing:
             raise KeyError(f"no series for events: {missing}")
 
-    per_event = {
-        event: event_trend_score(
-            series_by_event[event], n_points=n_points, band=band,
-            normalize=normalize, cdf=cdf,
+    if kernels is not None:
+        per_event = kernels.event_trend_scores(
+            {event: series_by_event[event] for event in events},
+            n_points=n_points, band=band, normalize=normalize, cdf=cdf,
         )
-        for event in events
-    }
+    else:
+        per_event = {
+            event: event_trend_score(
+                series_by_event[event], n_points=n_points, band=band,
+                normalize=normalize, cdf=cdf,
+            )
+            for event in events
+        }
     return TrendScoreResult(
         value=float(np.mean(list(per_event.values()))),
         per_event=per_event,

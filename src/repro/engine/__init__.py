@@ -1,0 +1,36 @@
+"""Memoizing, parallel scoring engine behind the Perspector facade.
+
+* :mod:`repro.engine.cache` -- content-addressed kernel cache: results
+  keyed by the SHA-256 of the input arrays' bytes plus every config knob
+  that affects the output, so stale hits are impossible by construction.
+* :mod:`repro.engine.parallel` -- deterministic process-pool fan-out
+  with input-order reassembly.
+* :mod:`repro.engine.engine` -- :class:`Engine`, which wires both under
+  the Section III score kernels (normalized series sets, DTW matrices
+  and pairs, PCA/coverage, per-k K-means) and exposes suite-level
+  scoring used by ``Perspector`` and the experiment drivers.
+
+The engine is a pure accelerator: with the cache off and one worker it
+runs exactly today's serial path, and every acceleration preserves
+bit-identical scorecards (checked by ``repro.qa.determinism``).
+"""
+
+from repro.engine.cache import (
+    MISS,
+    CacheStats,
+    KernelCache,
+    array_digest,
+    content_key,
+)
+from repro.engine.engine import Engine
+from repro.engine.parallel import ParallelExecutor
+
+__all__ = [
+    "MISS",
+    "CacheStats",
+    "KernelCache",
+    "array_digest",
+    "content_key",
+    "Engine",
+    "ParallelExecutor",
+]

@@ -1,0 +1,186 @@
+"""Cold-vs-warm benchmark for the scoring engine.
+
+Times the engine's core value proposition: re-scoring a SPEC'17-sized
+subset experiment (full-suite scores plus subset re-scores under
+full-suite bounds) with a warm content-addressed cache versus a cold
+one. The committed ``BENCH_engine.json`` baseline records the expected
+shape; its ``min_speedup`` field (3x) is the guard the bench harness
+and ``--check`` enforce.
+
+::
+
+    python -m repro.engine.bench            # run and print
+    python -m repro.engine.bench --write    # also refresh BENCH_engine.json
+    python -m repro.engine.bench --check    # exit 1 if below the baseline
+
+Timings are machine-dependent and only indicative; the speedup *ratio*
+is the contract. Warm results are additionally diffed bit-for-bit
+against the cold ones -- a cache that changed a single bit would fail
+here before it failed anywhere subtle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core.matrix import CounterMatrix
+from repro.core.subset import _scores
+from repro.engine.engine import Engine
+
+#: Default benchmark subject: SPEC'17-sized (43 workloads), trimmed
+#: series so a cold run stays in seconds on a laptop.
+SUBJECT = {"n_workloads": 43, "n_events": 6, "length": 64}
+SUBSET_SIZES = (8, 12)
+MIN_SPEEDUP = 3.0
+DEFAULT_BASELINE = "BENCH_engine.json"
+
+
+def build_subject(seed=0, n_workloads=43, n_events=6, length=64):
+    """A synthetic CounterMatrix with series, sized like SPEC'17."""
+    rng = np.random.default_rng(seed)
+    workloads = tuple(f"wl{i:02d}" for i in range(n_workloads))
+    events = tuple(f"ev{i}" for i in range(n_events))
+    series = {
+        e: [rng.uniform(0.0, 10.0, size=length) for _ in workloads]
+        for e in events
+    }
+    return CounterMatrix(
+        workloads=workloads,
+        events=events,
+        values=rng.uniform(1.0, 100.0, size=(n_workloads, n_events)),
+        series=series,
+        suite_name="bench-engine",
+    )
+
+
+def _workload(engine, matrix, subset_sizes, seed=3):
+    """The subset-experiment re-scoring pattern: full-suite scores, then
+    each subset scored under the full suite's normalization bounds."""
+    results = [_scores(matrix, seed=seed, engine=engine)]
+    for i, size in enumerate(subset_sizes):
+        rng = np.random.default_rng(seed + 1 + i)
+        names = tuple(
+            matrix.workloads[j]
+            for j in rng.choice(matrix.n_workloads, size=size,
+                                replace=False)
+        )
+        subset = matrix.select_workloads(names)
+        results.append(
+            _scores(subset, seed=seed, bounds_from=matrix, engine=engine)
+        )
+    return results
+
+
+def run_bench(seed=0, subject=None, subset_sizes=SUBSET_SIZES):
+    """Run the cold and warm passes; return the result record.
+
+    Returns
+    -------
+    dict
+        ``cold_s`` / ``warm_s`` / ``speedup`` timings, the cache counter
+        movement of each pass, ``identical`` (warm results bit-equal to
+        cold), and the subject dimensions.
+    """
+    subject = dict(SUBJECT if subject is None else subject)
+    matrix = build_subject(seed=seed, **subject)
+    engine = Engine()
+
+    start = time.perf_counter()
+    cold_results = _workload(engine, matrix, subset_sizes)
+    cold_s = time.perf_counter() - start
+    cold_stats = engine.stats()
+
+    start = time.perf_counter()
+    warm_results = _workload(engine, matrix, subset_sizes)
+    warm_s = time.perf_counter() - start
+    warm_stats = engine.stats().delta(cold_stats)
+
+    identical = all(
+        set(c) == set(w)
+        and all(np.float64(c[k]).tobytes() == np.float64(w[k]).tobytes()
+                for k in c)
+        for c, w in zip(cold_results, warm_results)
+    )
+    return {
+        "subject": {**subject, "subset_sizes": list(subset_sizes)},
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(cold_s / warm_s, 2) if warm_s > 0 else float("inf"),
+        "identical": identical,
+        "cold_cache": cold_stats.as_dict(),
+        "warm_cache": warm_stats.as_dict(),
+        "min_speedup": MIN_SPEEDUP,
+    }
+
+
+def render(result):
+    lines = [
+        "engine cold-vs-warm bench "
+        f"({result['subject']['n_workloads']} workloads x "
+        f"{result['subject']['n_events']} events, "
+        f"subsets {result['subject']['subset_sizes']}):",
+        f"  cold:    {result['cold_s']:.3f} s "
+        f"({result['cold_cache']['misses']} cache misses)",
+        f"  warm:    {result['warm_s']:.3f} s "
+        f"({result['warm_cache']['hits']} cache hits, "
+        f"{result['warm_cache']['misses']} misses)",
+        f"  speedup: {result['speedup']:.1f}x "
+        f"(baseline requires >= {result['min_speedup']:.0f}x)",
+        f"  warm results bit-identical to cold: {result['identical']}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.bench",
+        description="Time warm-cache vs cold-cache subset re-scoring.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="PATH", default=DEFAULT_BASELINE,
+                        help="baseline file for --write/--check")
+    parser.add_argument("--write", action="store_true",
+                        help="write the result as the new baseline")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless speedup >= the baseline's "
+                             "min_speedup and results are bit-identical")
+    args = parser.parse_args(argv)
+
+    result = run_bench(seed=args.seed)
+    print(render(result))
+
+    if args.write:
+        with open(args.json, "w") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.json}")
+    if args.check:
+        try:
+            with open(args.json) as f:
+                baseline = json.load(f)
+            min_speedup = float(baseline.get("min_speedup", MIN_SPEEDUP))
+        except FileNotFoundError:
+            min_speedup = MIN_SPEEDUP
+        failures = []
+        if not result["identical"]:
+            failures.append("warm results are not bit-identical to cold")
+        if result["speedup"] < min_speedup:
+            failures.append(
+                f"speedup {result['speedup']:.1f}x below the "
+                f"{min_speedup:.0f}x baseline"
+            )
+        if failures:
+            for f in failures:
+                print(f"CHECK FAIL: {f}")
+            return 1
+        print(f"check passed: >= {min_speedup:.0f}x and bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

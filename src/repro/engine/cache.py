@@ -1,0 +1,224 @@
+"""Content-addressed kernel cache.
+
+The scoring entry points (``Perspector.compare``, focused scoring,
+subset re-scoring, the stability/ablation experiments) recompute the
+same expensive kernels -- normalized series sets, pairwise DTW, PCA,
+per-k K-means -- over heavily overlapping inputs. :class:`KernelCache`
+memoizes those results under content-addressed keys: the SHA-256 of the
+input arrays' raw bytes plus every kernel-config knob that affects the
+output. Two consequences fall out of keying on content:
+
+* **Correctness without invalidation.** Any change to a value or a
+  config knob changes the key, so stale hits are impossible; there is
+  nothing to invalidate.
+* **Cross-entry-point reuse.** A focused re-scoring that selects an
+  event subset feeds byte-identical series to the trend kernel and hits
+  the cache, no matter which code path computed them first.
+
+Cached values are returned by reference; they are treated as immutable
+by every engine code path (and are frozen dataclasses or arrays nobody
+writes to).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Sentinel distinguishing "missing" from a cached ``None``.
+MISS = object()
+
+
+def _feed(h, part):
+    """Feed one key part into a hash, with type tags so e.g. the string
+    ``"1"`` and the integer ``1`` cannot collide."""
+    if isinstance(part, np.ndarray):
+        a = np.ascontiguousarray(part)
+        h.update(b"<nd>")
+        h.update(str(a.dtype).encode())
+        h.update(repr(a.shape).encode())
+        h.update(a.tobytes())
+    elif isinstance(part, (np.floating, np.integer)):
+        _feed(h, part.item())
+    elif isinstance(part, bytes):
+        h.update(b"<b>")
+        h.update(part)
+    elif isinstance(part, str):
+        h.update(b"<s>")
+        h.update(part.encode())
+    elif part is None or isinstance(part, (bool, int, float)):
+        h.update(f"<{type(part).__name__}>{part!r}".encode())
+    elif isinstance(part, (tuple, list)):
+        h.update(f"<seq:{len(part)}>".encode())
+        for item in part:
+            _feed(h, item)
+    elif isinstance(part, dict):
+        h.update(f"<map:{len(part)}>".encode())
+        for key in sorted(part, key=repr):
+            _feed(h, key)
+            _feed(h, part[key])
+    else:
+        raise TypeError(
+            f"unhashable cache-key part of type {type(part).__name__}: "
+            f"{part!r}"
+        )
+
+
+def content_key(kind, *parts):
+    """SHA-256 content key for a kernel invocation.
+
+    Parameters
+    ----------
+    kind:
+        Kernel name (``"dtw-pair"``, ``"pca"``, ...); namespaces the key.
+    parts:
+        Arrays, scalars, strings, or nested tuples/lists/dicts of those.
+        Arrays hash dtype + shape + raw bytes, so any value change (down
+        to the last NaN bit pattern) changes the key.
+
+    Returns
+    -------
+    str
+        Hex digest.
+    """
+    h = hashlib.sha256()
+    _feed(h, str(kind))
+    for part in parts:
+        _feed(h, part)
+    return h.hexdigest()
+
+
+def array_digest(array):
+    """Digest of one array's contents (used to orient symmetric pairs)."""
+    h = hashlib.sha256()
+    _feed(h, np.asarray(array))
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of a :class:`KernelCache`.
+
+    Attributes
+    ----------
+    hits / misses:
+        Lookup outcomes since construction (or the last counter reset).
+        A disabled cache counts every lookup as a miss.
+    entries:
+        Values currently stored.
+    """
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        """Hits per lookup in [0, 1]; 0.0 before any lookup."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def delta(self, earlier):
+        """Counter movement since an ``earlier`` snapshot."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            entries=self.entries,
+        )
+
+    def as_dict(self):
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": self.entries}
+
+
+class KernelCache:
+    """In-process LRU store for kernel results, keyed by content.
+
+    Parameters
+    ----------
+    enabled:
+        A disabled cache never stores and reports every lookup as a
+        miss; callers need no branching.
+    max_entries:
+        Optional LRU bound (``None`` = unbounded; suite matrices are
+        tiny, so the default is safe for experiment-sized runs).
+    """
+
+    def __init__(self, enabled=True, max_entries=None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.enabled = bool(enabled)
+        self.max_entries = max_entries
+        self._store = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, key):
+        """The cached value for ``key``, or :data:`MISS`; counts the
+        outcome."""
+        if not self.enabled:
+            self._misses += 1
+            return MISS
+        if key in self._store:
+            self._hits += 1
+            self._store.move_to_end(key)
+            return self._store[key]
+        self._misses += 1
+        return MISS
+
+    def peek(self, key):
+        """Like :meth:`lookup` but without touching the counters (for
+        probing several assembly strategies before committing to one)."""
+        if not self.enabled:
+            return MISS
+        return self._store.get(key, MISS)
+
+    def put(self, key, value):
+        """Store a value (no-op when disabled). Returns the value, so
+        ``return cache.put(key, compute())`` reads naturally."""
+        if self.enabled:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._store) > self.max_entries:
+                    self._store.popitem(last=False)
+        return value
+
+    def get_or_compute(self, key, compute):
+        """The cached value for ``key``, computing and storing on miss."""
+        value = self.lookup(key)
+        if value is MISS:
+            value = self.put(key, compute())
+        return value
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def stats(self):
+        """Current :class:`CacheStats` snapshot."""
+        return CacheStats(hits=self._hits, misses=self._misses,
+                          entries=len(self._store))
+
+    def reset_counters(self):
+        """Zero the hit/miss counters (entries stay)."""
+        self._hits = 0
+        self._misses = 0
+
+    def clear(self):
+        """Drop every entry and zero the counters."""
+        self._store.clear()
+        self.reset_counters()
+
+    def __len__(self):
+        return len(self._store)
+
+    def __contains__(self, key):
+        return key in self._store

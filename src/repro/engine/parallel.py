@@ -1,0 +1,64 @@
+"""Deterministic parallel fan-out for the scoring engine.
+
+:class:`ParallelExecutor` maps a top-level function over a list of
+argument tuples, either serially (``workers=1``, the default -- today's
+behaviour, no process overhead) or across a
+:class:`~concurrent.futures.ProcessPoolExecutor`. Three properties make
+the fan-out safe for a bit-for-bit-reproducible pipeline:
+
+* **Input-order reassembly.** Results always come back in submission
+  order (``executor.map`` semantics), never completion order, so
+  downstream reductions see the same operand order at any worker count.
+* **Pure tasks.** Tasks receive all inputs as arguments and return all
+  outputs; they touch no shared mutable state. The engine merges
+  worker-computed values into its cache afterwards, in input order.
+* **Identical kernels.** A task runs the very same numpy kernels the
+  serial path runs, so each element's result is bit-identical whether
+  it was computed in-process or in a worker.
+
+The ``repro.qa.determinism`` checker verifies the resulting scorecards
+are bit-identical across worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _invoke(payload):
+    """Top-level trampoline so (fn, args) pairs survive pickling."""
+    fn, args = payload
+    return fn(*args)
+
+
+@dataclass
+class ParallelExecutor:
+    """Map tasks over an optional process pool, preserving input order.
+
+    Parameters
+    ----------
+    workers:
+        Process count. ``1`` runs everything inline in the calling
+        process (no pool is created at all); higher values fan out.
+    """
+
+    workers: int = 1
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    def map(self, fn, arg_tuples):
+        """Apply ``fn(*args)`` for each args tuple; results in input order.
+
+        ``fn`` must be a module-level function and every argument
+        picklable when ``workers > 1``. Single-element batches always
+        run inline -- there is nothing to overlap.
+        """
+        arg_tuples = list(arg_tuples)
+        if self.workers == 1 or len(arg_tuples) < 2:
+            return [fn(*args) for args in arg_tuples]
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(_invoke, [(fn, args) for args in arg_tuples]))

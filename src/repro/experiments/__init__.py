@@ -21,6 +21,10 @@ identical by construction.
 | stability                  | bootstrap / seed-replication stability |
 """
 
-from repro.experiments.runner import ExperimentConfig, measure_suites
+from repro.experiments.runner import (
+    ExperimentConfig,
+    measure_suites,
+    perspector_for,
+)
 
-__all__ = ["ExperimentConfig", "measure_suites"]
+__all__ = ["ExperimentConfig", "measure_suites", "perspector_for"]

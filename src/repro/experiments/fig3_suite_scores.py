@@ -22,8 +22,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.perspector import Perspector
-from repro.experiments.runner import ExperimentConfig, measure_suites
+from repro.experiments.runner import (
+    ExperimentConfig,
+    measure_suites,
+    perspector_for,
+)
 from repro.workloads import available_suites
 
 FOCUSES = ("all", "llc", "tlb")
@@ -58,7 +61,7 @@ def run(config=None, suites=None):
     config = config if config is not None else ExperimentConfig.full()
     names = list(suites) if suites is not None else available_suites()
     matrices = measure_suites(names, config)
-    perspector = Perspector(seed=config.metric_seed)
+    perspector = perspector_for(config)
     comparisons = {
         focus: perspector.compare(
             *[matrices[n] for n in names], focus=focus

@@ -27,7 +27,13 @@ _CACHE = {}
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Trace-length and seed settings shared by the experiment drivers."""
+    """Trace-length and seed settings shared by the experiment drivers.
+
+    ``workers`` and ``cache`` configure the scoring engine
+    (:class:`repro.engine.Engine`): process fan-out width and the
+    content-addressed kernel cache. Neither affects any output bit --
+    they only change how fast the drivers regenerate the figures.
+    """
 
     n_intervals: int = 16
     ops_per_interval: int = 1500
@@ -35,6 +41,16 @@ class ExperimentConfig:
     warmup_boost: int = 8
     seed: int = 7
     metric_seed: int = 3
+    workers: int = 1
+    cache: bool = True
+
+    def measurement_key(self):
+        """The fields that determine measured traces. Scoring knobs
+        (``metric_seed``, ``workers``, ``cache``) are excluded, so
+        re-scoring the same traces under different settings reuses the
+        measurement cache."""
+        return (self.n_intervals, self.ops_per_interval,
+                self.warmup_intervals, self.warmup_boost, self.seed)
 
     @classmethod
     def quick(cls):
@@ -76,7 +92,7 @@ def measure_suites(names, config=None):
     out = {}
     session = None
     for name in names:
-        key = (name, config)
+        key = (name, config.measurement_key())
         if key not in _CACHE:
             if session is None:
                 session = config.session()
@@ -84,6 +100,22 @@ def measure_suites(names, config=None):
             _CACHE[key] = CounterMatrix.from_measurement(measurement)
         out[name] = _CACHE[key]
     return out
+
+
+def perspector_for(config, session=None):
+    """A :class:`~repro.core.perspector.Perspector` wired to an
+    :class:`ExperimentConfig`'s scoring knobs (``metric_seed``,
+    ``workers``, ``cache``)."""
+    from repro.core.perspector import Perspector, PerspectorConfig
+
+    return Perspector(
+        session=session,
+        config=PerspectorConfig(
+            seed=config.metric_seed,
+            workers=config.workers,
+            cache=config.cache,
+        ),
+    )
 
 
 def clear_cache():

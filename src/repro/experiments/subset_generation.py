@@ -23,6 +23,7 @@ from repro.core.subset import (
     _scores,
     random_subset_report,
 )
+from repro.engine import Engine
 from repro.experiments.runner import ExperimentConfig, measure_suites
 
 SUBSET_SUITE = "spec17"
@@ -63,12 +64,13 @@ class SubsetExperimentResult:
         ))
 
 
-def _report_for(matrix, names, seed, full_scores=None):
+def _report_for(matrix, names, seed, full_scores=None, engine=None):
     """Score an arbitrary named subset exactly like LHSSubsetGenerator."""
     subset_matrix = matrix.select_workloads(names)
     if full_scores is None:
-        full_scores = _scores(matrix, seed=seed)
-    subset_scores = _scores(subset_matrix, seed=seed, bounds_from=matrix)
+        full_scores = _scores(matrix, seed=seed, engine=engine)
+    subset_scores = _scores(subset_matrix, seed=seed, bounds_from=matrix,
+                            engine=engine)
     deviations = {}
     for key, full_value in full_scores.items():
         sub_value = subset_scores[key]
@@ -97,24 +99,29 @@ def run(config=None, suite=SUBSET_SUITE, subset_size=SUBSET_SIZE,
     matrix = measure_suites([suite], config)[suite]
     seed = config.metric_seed
 
-    full_scores = _scores(matrix, seed=seed)  # shared baseline, computed once
+    # One engine for the whole experiment: every method re-scores subsets
+    # of the same matrix, so K-means fits, DTW pairs and PCA results
+    # recur across reports and hit the content-addressed cache.
+    engine = Engine.from_config(config)
+    full_scores = _scores(matrix, seed=seed,
+                          engine=engine)  # shared baseline, computed once
     lhs = LHSSubsetGenerator(subset_size=subset_size, seed=seed).report(
-        matrix, seed=seed, full_scores=full_scores
+        matrix, seed=seed, full_scores=full_scores, engine=engine
     )
     randoms = tuple(
         random_subset_report(matrix, subset_size, seed=seed + i,
-                             full_scores=full_scores)
+                             full_scores=full_scores, engine=engine)
         for i in range(n_random)
     )
     prior = _report_for(
         matrix,
         PCAHierarchicalSubsetter(subset_size=subset_size).select(matrix),
-        seed, full_scores,
+        seed, full_scores, engine=engine,
     )
     greedy = _report_for(
         matrix,
         GreedyMaxMinSubsetter(subset_size=subset_size).select(matrix),
-        seed, full_scores,
+        seed, full_scores, engine=engine,
     )
     return SubsetExperimentResult(
         suite=suite,

@@ -6,7 +6,10 @@ order-dependent reduction is hiding somewhere. This checker runs
 ``Perspector.score`` twice -- two *fresh* Perspector/PerfSession
 instances under one seed -- and diffs the scorecards through the IEEE-754
 bit patterns of every score and every per-item decomposition value
-(NaN == NaN under this comparison, unlike ``==``).
+(NaN == NaN under this comparison, unlike ``==``). It also enforces the
+scoring engine's invariance contract: disabling the kernel cache, or
+fanning the work across ``--workers N`` processes, must not move a
+single bit.
 
 Run it as ``python -m repro.qa.determinism`` (the default drives a
 synthetic suite through the full simulate-measure-score stack, covering
@@ -107,14 +110,15 @@ class DeterminismReport:
         head = (f"determinism check (seed={self.seed}, suite="
                 f"{card.suite_name!r}): ")
         if self.identical:
-            return head + "PASS -- scorecards bit-identical across 2 runs"
+            return (head + "PASS -- scorecards bit-identical across "
+                    f"{len(self.scorecards)} runs")
         lines = [head + f"FAIL -- {len(self.mismatches)} mismatch(es)"]
         lines.extend(f"  {m}" for m in self.mismatches)
         return "\n".join(lines)
 
 
 def check_determinism(suite_or_matrix, seed=0, focus="all",
-                      session_factory=None):
+                      session_factory=None, workers=1):
     """Score the input twice under one seed; diff the results bit-for-bit.
 
     Each run builds a *fresh* Perspector (and, unless ``session_factory``
@@ -122,21 +126,40 @@ def check_determinism(suite_or_matrix, seed=0, focus="all",
     so no state leaks between runs -- exactly the "two cold processes"
     setting a user hitting reproducibility bugs would be in.
 
+    On top of the two baseline runs, the check verifies the scoring
+    engine's invariance contract: a run with the kernel cache disabled
+    -- and, when ``workers > 1``, a run fanned across that many worker
+    processes -- must each be bit-identical to the baseline. Mismatches
+    from those runs are prefixed with the variant label.
+
     Returns
     -------
     DeterminismReport
     """
-    from repro.core.perspector import Perspector
+    from repro.core.perspector import Perspector, PerspectorConfig
 
-    cards = []
-    for _ in range(2):
+    def run_once(**config_kwargs):
         session = None if session_factory is None else session_factory()
-        perspector = Perspector(session=session, seed=seed)
-        cards.append(perspector.score(suite_or_matrix, focus=focus))
-    mismatches = tuple(diff_scorecards(cards[0], cards[1]))
+        perspector = Perspector(
+            session=session,
+            config=PerspectorConfig(seed=seed, **config_kwargs),
+        )
+        return perspector.score(suite_or_matrix, focus=focus)
+
+    cards = [run_once(), run_once()]
+    mismatches = list(diff_scorecards(cards[0], cards[1]))
+    variants = [("cache=off", {"cache": False})]
+    if workers > 1:
+        variants.append((f"workers={workers}", {"workers": workers}))
+    for label, config_kwargs in variants:
+        card = run_once(**config_kwargs)
+        mismatches.extend(
+            f"[{label}] {m}" for m in diff_scorecards(cards[0], card)
+        )
+        cards.append(card)
     return DeterminismReport(
         identical=not mismatches,
-        mismatches=mismatches,
+        mismatches=tuple(mismatches),
         scorecards=tuple(cards),
         seed=seed,
     )
@@ -172,11 +195,15 @@ def main(argv=None):
     parser.add_argument("--full", action="store_true",
                         help="full-length traces (slower; default is the "
                              "quick preset)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="also require a run fanned across N worker "
+                             "processes to be bit-identical")
     args = parser.parse_args(argv)
 
     suite, factory = _default_subject(args.seed, quick=not args.full)
     report = check_determinism(suite, seed=args.seed, focus=args.focus,
-                               session_factory=factory)
+                               session_factory=factory,
+                               workers=args.workers)
     print(report)
     return 0 if report.identical else 1
 

@@ -177,27 +177,29 @@ def dtw_path(a, b, band=None):
     return float(acc[-1, -1]), _traceback(acc)
 
 
-def _pairwise_aligned(x):
-    """All-pairs DTW distances for equal-length 1-D series, computed as
-    one batched anti-diagonal wavefront over a ``(pairs, L, L)`` tensor.
+def batched_pair_distances(x, idx_i, idx_j):
+    """DTW distances for selected pairs of equal-length 1-D series.
+
+    One batched anti-diagonal wavefront over a ``(pairs, L, L)`` tensor.
+    Every operation is elementwise over the pair axis, so each pair's
+    distance is bit-identical no matter which other pairs share the
+    batch -- the engine's pair cache relies on that to mix cached and
+    freshly-computed pairs freely.
 
     Parameters
     ----------
     x:
         ``(k, L)`` matrix, one series per row.
+    idx_i, idx_j:
+        Row-index arrays of equal length selecting the pairs.
 
     Returns
     -------
     numpy.ndarray
-        ``(k, k)`` symmetric distance matrix.
+        ``(len(idx_i),)`` distances, one per requested pair.
     """
-    k, length = x.shape
-    out = np.zeros((k, k))
-    if k < 2:
-        return out
-    idx_i, idx_j = np.triu_indices(k, k=1)
+    length = x.shape[1]
     cost = np.abs(x[idx_i][:, :, None] - x[idx_j][:, None, :])
-    p = cost.shape[0]
     acc = np.empty_like(cost)
     acc[:, 0, :] = np.cumsum(cost[:, 0, :], axis=1)
     acc[:, :, 0] = np.cumsum(cost[:, :, 0], axis=1)
@@ -214,10 +216,52 @@ def _pairwise_aligned(x):
         acc[:, i, j] = cost[:, i, j] + np.minimum(
             np.minimum(up, left), diag
         )
-    totals = acc[:, -1, -1]
+    return acc[:, -1, -1]
+
+
+def _pairwise_aligned(x):
+    """All-pairs DTW distances for equal-length 1-D series.
+
+    Parameters
+    ----------
+    x:
+        ``(k, L)`` matrix, one series per row.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(k, k)`` symmetric distance matrix.
+    """
+    k = x.shape[0]
+    out = np.zeros((k, k))
+    if k < 2:
+        return out
+    idx_i, idx_j = np.triu_indices(k, k=1)
+    totals = batched_pair_distances(x, idx_i, idx_j)
     out[idx_i, idx_j] = totals
     out[idx_j, idx_i] = totals
     return out
+
+
+def validate_series_list(series):
+    """Coerce a series list to float arrays, naming the bad input.
+
+    Every series must be non-empty, finite and 1-D or 2-D; a violation
+    raises ``ValueError`` identifying the offending series by index
+    (``series[3] contains non-finite values``), instead of the
+    anonymous per-pair error a later ``dtw_distance`` call would give.
+
+    Returns
+    -------
+    list[numpy.ndarray]
+        The inputs as float arrays (original dimensionality preserved).
+    """
+    arrays = []
+    for i, s in enumerate(series):
+        a = np.asarray(s, dtype=float)
+        _as_series(a, f"series[{i}]")
+        arrays.append(a)
+    return arrays
 
 
 def dtw_matrix(series, band=None, normalize=False):
@@ -227,18 +271,21 @@ def dtw_matrix(series, band=None, normalize=False):
     off-diagonal entries of this matrix. Equal-length 1-D series without
     band/normalize options take the batched wavefront fast path (the
     TrendScore always lands there after the Fig. 1 normalization).
+
+    Inputs are validated up front: an empty or non-finite series raises
+    ``ValueError`` naming its index, rather than silently dropping the
+    whole batch off the fast path and failing later with an anonymous
+    per-pair error.
     """
     n = len(series)
     if n == 0:
         raise ValueError("series list is empty")
-    arrays = [np.asarray(s, dtype=float) for s in series]
+    arrays = validate_series_list(series)
     if (
         band is None
         and not normalize
         and all(a.ndim == 1 for a in arrays)
         and len({a.shape[0] for a in arrays}) == 1
-        and all(np.all(np.isfinite(a)) for a in arrays)
-        and arrays[0].shape[0] > 0
     ):
         return _pairwise_aligned(np.vstack(arrays))
     out = np.zeros((n, n))

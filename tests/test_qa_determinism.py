@@ -38,12 +38,18 @@ class TestMatrixPath:
         assert report.mismatches == ()
         assert "PASS" in str(report)
 
-    def test_report_carries_both_scorecards(self):
+    def test_report_carries_all_scorecards(self):
+        # Two baseline runs plus the cache-off invariance run.
         report = check_determinism(fixture_matrix(), seed=4)
         assert isinstance(report, DeterminismReport)
-        assert len(report.scorecards) == 2
+        assert len(report.scorecards) == 3
         assert report.seed == 4
         assert report.scorecards[0].suite_name == "determinism-fixture"
+
+    def test_workers_adds_invariance_run(self):
+        report = check_determinism(fixture_matrix(), seed=0, workers=2)
+        assert report.identical, str(report)
+        assert len(report.scorecards) == 4
 
     def test_focus_is_threaded_through(self):
         report = check_determinism(fixture_matrix(), seed=0, focus="llc")

@@ -5,7 +5,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.stats.dtw import dtw_distance, dtw_matrix, dtw_path
+from repro.stats.dtw import (
+    _accumulate,
+    _accumulate_banded,
+    _local_cost_matrix,
+    _pairwise_aligned,
+    batched_pair_distances,
+    dtw_distance,
+    dtw_matrix,
+    dtw_path,
+    validate_series_list,
+)
 
 
 def series(min_len=2, max_len=20):
@@ -161,3 +171,84 @@ class TestDTWMatrix:
         m = dtw_matrix(series_list)
         assert m[0, 1] == pytest.approx(dtw_distance(series_list[0], series_list[1]))
         assert m[1, 2] == pytest.approx(dtw_distance(series_list[1], series_list[2]))
+
+    def test_nan_series_raises_with_index(self):
+        rng = np.random.default_rng(9)
+        series_list = [rng.normal(size=6) for _ in range(3)]
+        series_list[2] = np.array([1.0, np.nan, 3.0])
+        with pytest.raises(ValueError, match=r"series\[2\]"):
+            dtw_matrix(series_list)
+
+    def test_empty_series_raises_with_index(self):
+        with pytest.raises(ValueError, match=r"series\[1\] is empty"):
+            dtw_matrix([np.ones(3), np.array([])])
+
+
+class TestValidateSeriesList:
+    def test_returns_float_arrays_preserving_dims(self):
+        out = validate_series_list([[1, 2, 3], np.ones((4, 2))])
+        assert out[0].dtype == float and out[0].ndim == 1
+        assert out[1].shape == (4, 2)
+
+    def test_names_offending_index(self):
+        with pytest.raises(ValueError, match=r"series\[1\].*non-finite"):
+            validate_series_list([np.ones(3), np.array([np.inf, 1.0])])
+
+
+class TestKernelCrossChecks:
+    """Property cross-checks between the three DTW kernels: the batched
+    wavefront, the banded reference fill, and the per-pair recurrence."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2 ** 31 - 1), st.integers(3, 6),
+           st.integers(4, 12))
+    def test_pairwise_aligned_matches_per_pair_distance(self, seed, k,
+                                                        length):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(k, length))
+        m = _pairwise_aligned(x)
+        for i in range(k):
+            for j in range(i + 1, k):
+                assert m[i, j] == pytest.approx(
+                    dtw_distance(x[i], x[j]), rel=1e-12, abs=1e-12
+                )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2 ** 31 - 1), st.integers(2, 12),
+           st.integers(2, 12))
+    def test_full_width_band_matches_unbanded(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        cost = np.abs(rng.normal(size=(n, m)))
+        banded = _accumulate_banded(cost, band=n + m)
+        free = _accumulate(cost)
+        np.testing.assert_allclose(banded, free, rtol=1e-12, atol=1e-12)
+
+    def test_banded_distance_consistent_with_matrix(self):
+        rng = np.random.default_rng(10)
+        series_list = [rng.normal(size=8) for _ in range(3)]
+        m = dtw_matrix(series_list, band=3)
+        assert m[0, 2] == dtw_distance(series_list[0], series_list[2],
+                                       band=3)
+
+    def test_batched_results_independent_of_batch_composition(self):
+        # The engine's pair cache mixes cached and fresh pairs, which is
+        # only sound if a pair's distance is bit-identical no matter
+        # which other pairs share the batch.
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(5, 9))
+        idx_i, idx_j = np.triu_indices(5, k=1)
+        full = batched_pair_distances(x, idx_i, idx_j)
+        for p in range(len(idx_i)):
+            alone = batched_pair_distances(
+                x, idx_i[p : p + 1], idx_j[p : p + 1]
+            )
+            assert alone[0].tobytes() == full[p].tobytes()
+
+    def test_batched_matches_accumulate_wavefront(self):
+        rng = np.random.default_rng(12)
+        a, b = rng.normal(size=7), rng.normal(size=7)
+        batched = batched_pair_distances(np.vstack([a, b]),
+                                         np.array([0]), np.array([1]))
+        cost = _local_cost_matrix(a[:, None], b[:, None])
+        acc = _accumulate(cost)
+        assert batched[0] == pytest.approx(acc[-1, -1], rel=1e-12)
