@@ -1,14 +1,16 @@
 # Development targets. `make qa` is the pre-merge gate documented in
 # benchmarks/README.md: the in-tree static-analysis pass, ruff, mypy
 # (both skipped with a notice when not installed) and the bit-for-bit
-# determinism checker (which also proves the parallel scoring engine
-# bit-identical at workers=2). `make bench` includes the engine's
-# cold-vs-warm cache bench, guarded by the BENCH_engine.json baseline.
+# determinism checker (which also proves the parallel scoring engine --
+# and the sliced subset search -- bit-identical at workers=2).
+# `make bench` includes the engine's cold-vs-warm cache bench and the
+# subset evaluator's sliced-vs-naive bench, guarded by the
+# BENCH_engine.json / BENCH_subset.json baselines.
 
 PYTHON ?= python
 RUN = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
 
-.PHONY: qa lint ruff mypy determinism test bench bench-engine
+.PHONY: qa lint ruff mypy determinism test bench bench-engine bench-subset
 
 qa: lint ruff mypy determinism
 	@echo "qa: all gates passed"
@@ -36,8 +38,11 @@ determinism:
 test:
 	$(RUN) -m pytest -x -q
 
-bench: bench-engine
+bench: bench-engine bench-subset
 	$(RUN) -m pytest benchmarks -q
 
 bench-engine:
 	$(RUN) -m repro.engine.bench --check
+
+bench-subset:
+	$(RUN) -m repro.engine.subset_bench --check

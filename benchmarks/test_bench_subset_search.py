@@ -1,0 +1,42 @@
+"""Bench: sliced subset evaluation vs naive per-candidate re-scoring.
+
+Guards the subset evaluator's performance contract from DESIGN.md
+section 8 -- a 64-candidate search through the precompute-and-slice
+:class:`~repro.engine.subset_eval.SubsetEvaluator` must be at least 20x
+faster than naive from-scratch re-scoring of every candidate (the
+committed ``BENCH_subset.json`` baseline), and the sampled naive reports
+must be bit-identical to the sliced ones.
+"""
+
+import json
+import pathlib
+
+from repro.engine.subset_bench import MIN_SPEEDUP, render, run_bench
+
+from conftest import run_once
+
+BASELINE = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_subset.json"
+
+
+def test_sliced_search_speedup(benchmark):
+    result = run_once(benchmark, run_bench)
+    print()
+    print(render(result))
+
+    assert result["identical"], "sliced reports drifted from naive reports"
+    assert result["all_sliced"], \
+        "a bench candidate fell off the sliced trend path"
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"sliced-vs-naive speedup {result['speedup']:.1f}x is below the "
+        f"{MIN_SPEEDUP:.0f}x contract"
+    )
+
+
+def test_baseline_file_is_committed_and_consistent():
+    assert BASELINE.exists(), "BENCH_subset.json baseline missing"
+    baseline = json.loads(BASELINE.read_text())
+    assert baseline["min_speedup"] == MIN_SPEEDUP
+    assert baseline["identical"] is True
+    assert baseline["all_sliced"] is True
+    assert baseline["speedup"] >= baseline["min_speedup"]

@@ -43,6 +43,9 @@ _CORE_EXPORTS = {
     "EventFocus": "repro.core.focus",
     "LHSSubsetGenerator": "repro.core.subset",
     "SubsetReport": "repro.core.subset",
+    "SubsetEvaluator": "repro.engine.subset_eval",
+    "SubsetSearch": "repro.engine.subset_eval",
+    "SubsetSearchResult": "repro.engine.subset_eval",
     "load_suite": "repro.workloads",
     "load_all_suites": "repro.workloads",
     "available_suites": "repro.workloads",

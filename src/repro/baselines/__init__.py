@@ -15,8 +15,33 @@ from repro.baselines.pca_hierarchical import (
 )
 from repro.baselines.greedy_subset import GreedyMaxMinSubsetter
 
+
+def baseline_subsets(matrix, subset_size):
+    """The deterministic prior-work subsets of one suite, by method.
+
+    Used as seed candidates by the swap local search
+    (:class:`repro.engine.subset_eval.SubsetSearch`): both baselines are
+    deterministic functions of the matrix, so they cost nothing to
+    reproduce and give the search a non-random starting pool.
+
+    Returns
+    -------
+    dict
+        ``{method_name: workload-name tuple}``, in a fixed order.
+    """
+    return {
+        "prior_pca_hierarchical": tuple(
+            PCAHierarchicalSubsetter(subset_size=subset_size).select(matrix)
+        ),
+        "greedy_maxmin": tuple(
+            GreedyMaxMinSubsetter(subset_size=subset_size).select(matrix)
+        ),
+    }
+
+
 __all__ = [
     "PCAHierarchicalSubsetter",
     "prior_work_clusters",
     "GreedyMaxMinSubsetter",
+    "baseline_subsets",
 ]

@@ -4,7 +4,7 @@
 
     perspector score <suite> [--focus all|llc|tlb] ...
     perspector compare <suite> <suite> ... [--focus ...]
-    perspector subset <suite> --size 8
+    perspector subset <suite> --size 8 [--search N --method lhs|random|swap]
     perspector suites
     perspector experiment fig1|fig2|fig3|fig4|fig5|fig6|subset|mux|ablations
     perspector lint [paths ...]
@@ -94,14 +94,23 @@ def _cmd_compare(args):
 
 
 def _cmd_subset(args):
-    from repro.engine import Engine
+    from repro.engine import Engine, SubsetEvaluator, SubsetSearch
 
     config = _config(args)
     matrix = measure_suites([args.suite], config)[args.suite]
+    engine = Engine.from_config(config)
+    if args.search:
+        evaluator = SubsetEvaluator(matrix, seed=config.metric_seed,
+                                    engine=engine)
+        result = SubsetSearch(
+            matrix, args.size, seed=config.metric_seed,
+            evaluator=evaluator,
+        ).search(args.search, method=args.method)
+        print(result)
+        return 0
     report = LHSSubsetGenerator(
         subset_size=args.size, seed=config.metric_seed
-    ).report(matrix, seed=config.metric_seed,
-             engine=Engine.from_config(config))
+    ).report(matrix, seed=config.metric_seed, engine=engine)
     print(report)
     return 0
 
@@ -191,9 +200,24 @@ def build_parser():
                        help="print bar panels per score")
     _add_engine_flags(p_cmp)
 
-    p_sub = sub.add_parser("subset", help="LHS subset generation")
+    p_sub = sub.add_parser(
+        "subset", help="LHS subset generation / multi-candidate search"
+    )
     p_sub.add_argument("suite", choices=available_suites())
     p_sub.add_argument("--size", type=int, default=8)
+    p_sub.add_argument(
+        "--search", type=int, default=None, metavar="N",
+        help="evaluate up to N candidate subsets through the sliced "
+             "evaluator (precomputes the full-suite kernels once) and "
+             "report the lowest-mean-deviation one, instead of the "
+             "single LHS subset",
+    )
+    p_sub.add_argument(
+        "--method", default="lhs", choices=["lhs", "random", "swap"],
+        help="candidate generation for --search: N maximin-LHS designs, "
+             "N uniform draws, or a baseline-seeded greedy swap local "
+             "search (default: lhs)",
+    )
     _add_engine_flags(p_sub)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")

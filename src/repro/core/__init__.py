@@ -39,7 +39,9 @@ from repro.core.perspector import Perspector, PerspectorConfig
 from repro.core.subset import (
     LHSSubsetGenerator,
     SubsetReport,
+    random_subset_names,
     random_subset_report,
+    report_from_scores,
 )
 from repro.core.phases import (
     PhaseDetectionResult,
@@ -75,7 +77,9 @@ __all__ = [
     "PerspectorConfig",
     "LHSSubsetGenerator",
     "SubsetReport",
+    "random_subset_names",
     "random_subset_report",
+    "report_from_scores",
     "PhaseDetectionResult",
     "PhaseSegment",
     "boundary_recall",

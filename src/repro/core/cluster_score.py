@@ -70,10 +70,14 @@ def cluster_score(matrix, seed=0, n_restarts=8, normalize=True,
         Use the paper's Eq. 5 cluster-weighted silhouette (default) or
         the conventional sample-weighted mean (ablation knob).
     kernels:
-        Optional kernel provider with a ``kmeans_sweep`` hook (see
-        :class:`repro.engine.Engine`); replaces the serial per-k
-        K-means loop with a cached/parallel one. The per-k seeds are
-        drawn from one stream either way, so results are bit-identical.
+        Optional kernel provider with ``kmeans_sweep`` and (optionally)
+        ``pairwise_distances`` hooks (see :class:`repro.engine.Engine`);
+        replaces the serial per-k K-means loop with a cached/parallel
+        one and memoizes the silhouette distance matrix across the
+        sweep and across repeated calls (subset candidates re-score the
+        same rows). The per-k seeds are drawn from one stream and the
+        distance kernel is the same either way, so results are
+        bit-identical.
 
     Returns
     -------
@@ -94,7 +98,11 @@ def cluster_score(matrix, seed=0, n_restarts=8, normalize=True,
     if normalize:
         x = normalize_matrix(x)
 
-    distances = pairwise_distances(x)
+    distance_hook = getattr(kernels, "pairwise_distances", None)
+    if distance_hook is not None:
+        distances = distance_hook(x)
+    else:
+        distances = pairwise_distances(x)
     # Per-k seeds come from one stream drawn up front, so a cached or
     # parallel sweep (the `kernels` hook) sees the exact seeds the
     # serial loop would.

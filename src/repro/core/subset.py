@@ -18,7 +18,7 @@ reports a 6.53% mean score deviation for SPEC'17 at 43 -> 8.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -43,9 +43,15 @@ class SubsetReport:
     full_scores / subset_scores:
         ``{score_name: value}`` for the full suite and the subset.
     deviations:
-        ``{score_name: relative deviation in percent}``.
+        ``{score_name: relative deviation in percent}``. Scores that are
+        NaN on either side (e.g. trend without series) are excluded.
     mean_deviation_pct:
-        Mean of the per-score deviations (the paper's 6.53% figure).
+        Mean of the per-score deviations (the paper's 6.53% figure);
+        NaN when no score produced a deviation.
+    details:
+        Optional provenance, e.g. the :class:`repro.engine.subset_eval.
+        SubsetEvaluator` records per-event whether trend was sliced from
+        the precomputed DTW matrix or recomputed via the fallback.
     """
 
     selected: tuple
@@ -53,17 +59,55 @@ class SubsetReport:
     subset_scores: dict
     deviations: dict
     mean_deviation_pct: float
+    details: dict = field(default_factory=dict)
 
     def __str__(self):
         rows = [f"subset: {', '.join(self.selected)}"]
         for name in self.full_scores:
+            if name in self.deviations:
+                dev = f"{self.deviations[name]:.2f}%"
+            else:
+                dev = "n/a"
             rows.append(
                 f"  {name:<9} full={self.full_scores[name]:.4f} "
                 f"subset={self.subset_scores[name]:.4f} "
-                f"dev={self.deviations[name]:.2f}%"
+                f"dev={dev}"
             )
         rows.append(f"  mean deviation: {self.mean_deviation_pct:.2f}%")
         return "\n".join(rows)
+
+
+def _mean_deviation(deviations):
+    """Mean of the per-score deviations; NaN (without numpy's empty-mean
+    warning) when every score was excluded as NaN."""
+    if not deviations:
+        return float("nan")
+    return float(np.mean(list(deviations.values())))
+
+
+def report_from_scores(selected, full_scores, subset_scores, details=None):
+    """Assemble a :class:`SubsetReport` from already-computed score dicts.
+
+    The deviation convention is shared by every scoring path (LHS
+    report, random baseline, experiment drivers, the sliced evaluator):
+    NaN scores are excluded, a zero full-suite score falls back to an
+    absolute deviation.
+    """
+    deviations = {}
+    for name, full_value in full_scores.items():
+        sub_value = subset_scores[name]
+        if np.isnan(full_value) or np.isnan(sub_value):
+            continue
+        denom = abs(full_value) if full_value != 0 else 1.0
+        deviations[name] = 100.0 * abs(sub_value - full_value) / denom
+    return SubsetReport(
+        selected=tuple(selected),
+        full_scores=full_scores,
+        subset_scores=subset_scores,
+        deviations=deviations,
+        mean_deviation_pct=_mean_deviation(deviations),
+        details=details if details is not None else {},
+    )
 
 
 def _greedy_unique_match(anchors, points):
@@ -126,7 +170,8 @@ class LHSSubsetGenerator:
         chosen = _greedy_unique_match(design, normalized)
         return tuple(matrix.workloads[i] for i in chosen)
 
-    def report(self, matrix, seed=0, full_scores=None, engine=None):
+    def report(self, matrix, seed=0, full_scores=None, engine=None,
+               evaluator=None):
         """Choose a subset and score its fidelity (Section IV-C).
 
         The subset's matrix is normalized with the *full suite's* bounds
@@ -136,35 +181,26 @@ class LHSSubsetGenerator:
         compare many subsetting methods against one full-suite baseline).
         Alternatively, pass a shared :class:`repro.engine.Engine` as
         ``engine`` and repeated kernel work (full-suite scores, K-means
-        fits, DTW pairs) is memoized across reports.
+        fits, DTW pairs) is memoized across reports -- or a
+        :class:`repro.engine.subset_eval.SubsetEvaluator` as
+        ``evaluator`` and the subset is scored by slicing its
+        precomputed full-suite kernels (bit-identical, much faster when
+        many subsets of one suite are scored).
 
         Returns
         -------
         SubsetReport
         """
         selected = self.select(matrix)
+        if evaluator is not None:
+            return evaluator.evaluate(selected)
         subset_matrix = matrix.select_workloads(selected)
 
         if full_scores is None:
             full_scores = _scores(matrix, seed=seed, engine=engine)
         subset_scores = _scores(subset_matrix, seed=seed,
                                 bounds_from=matrix, engine=engine)
-
-        deviations = {}
-        for name, full_value in full_scores.items():
-            sub_value = subset_scores[name]
-            if np.isnan(full_value) or np.isnan(sub_value):
-                continue
-            denom = abs(full_value) if full_value != 0 else 1.0
-            deviations[name] = 100.0 * abs(sub_value - full_value) / denom
-        mean_dev = float(np.mean(list(deviations.values())))
-        return SubsetReport(
-            selected=selected,
-            full_scores=full_scores,
-            subset_scores=subset_scores,
-            deviations=deviations,
-            mean_deviation_pct=mean_dev,
-        )
+        return report_from_scores(selected, full_scores, subset_scores)
 
 
 def _scores(matrix, seed=0, bounds_from=None, engine=None):
@@ -213,32 +249,28 @@ def _scores(matrix, seed=0, bounds_from=None, engine=None):
     return out
 
 
-def random_subset_report(matrix, subset_size, seed=0, full_scores=None,
-                         engine=None):
-    """Baseline: a uniformly random subset of the same size, scored the
-    same way (used by the ablation bench to show LHS beats chance)."""
+def random_subset_names(matrix, subset_size, seed=0):
+    """The uniformly random subset draw behind
+    :func:`random_subset_report`, exposed so other scoring paths (the
+    sliced evaluator, the search driver) can reuse the exact draw."""
     rng = np.random.default_rng(seed)
-    names = tuple(
+    return tuple(
         matrix.workloads[i]
         for i in rng.choice(matrix.n_workloads, size=subset_size,
                             replace=False)
     )
+
+
+def random_subset_report(matrix, subset_size, seed=0, full_scores=None,
+                         engine=None, evaluator=None):
+    """Baseline: a uniformly random subset of the same size, scored the
+    same way (used by the ablation bench to show LHS beats chance)."""
+    names = random_subset_names(matrix, subset_size, seed=seed)
+    if evaluator is not None:
+        return evaluator.evaluate(names)
     subset_matrix = matrix.select_workloads(names)
     if full_scores is None:
         full_scores = _scores(matrix, seed=seed, engine=engine)
     subset_scores = _scores(subset_matrix, seed=seed, bounds_from=matrix,
                             engine=engine)
-    deviations = {}
-    for key, full_value in full_scores.items():
-        sub_value = subset_scores[key]
-        if np.isnan(full_value) or np.isnan(sub_value):
-            continue
-        denom = abs(full_value) if full_value != 0 else 1.0
-        deviations[key] = 100.0 * abs(sub_value - full_value) / denom
-    return SubsetReport(
-        selected=names,
-        full_scores=full_scores,
-        subset_scores=subset_scores,
-        deviations=deviations,
-        mean_deviation_pct=float(np.mean(list(deviations.values()))),
-    )
+    return report_from_scores(names, full_scores, subset_scores)

@@ -9,6 +9,11 @@
   the Section III score kernels (normalized series sets, DTW matrices
   and pairs, PCA/coverage, per-k K-means) and exposes suite-level
   scoring used by ``Perspector`` and the experiment drivers.
+* :mod:`repro.engine.subset_eval` -- :class:`SubsetEvaluator`, which
+  precomputes the full-suite kernels once and scores any candidate
+  subset by index slicing (bit-identical to the from-scratch
+  shared-bounds path), and :class:`SubsetSearch`, the multi-candidate
+  LHS/random/swap search driver behind ``repro subset --search``.
 
 The engine is a pure accelerator: with the cache off and one worker it
 runs exactly today's serial path, and every acceleration preserves
@@ -24,6 +29,11 @@ from repro.engine.cache import (
 )
 from repro.engine.engine import Engine
 from repro.engine.parallel import ParallelExecutor
+from repro.engine.subset_eval import (
+    SubsetEvaluator,
+    SubsetSearch,
+    SubsetSearchResult,
+)
 
 __all__ = [
     "MISS",
@@ -33,4 +43,7 @@ __all__ = [
     "content_key",
     "Engine",
     "ParallelExecutor",
+    "SubsetEvaluator",
+    "SubsetSearch",
+    "SubsetSearchResult",
 ]

@@ -47,6 +47,7 @@ from repro.engine.cache import (
     content_key,
 )
 from repro.engine.parallel import ParallelExecutor
+from repro.stats.distance import pairwise_distances
 from repro.stats.dtw import (
     batched_pair_distances,
     dtw_distance,
@@ -318,6 +319,19 @@ class Engine:
     def _tscore(dmatrix):
         n = dmatrix.shape[0]
         return float(dmatrix.sum() / (n * (n - 1)))
+
+    def pairwise_distances(self, x):
+        """Cached :func:`repro.stats.distance.pairwise_distances` -- the
+        silhouette distance matrix of Eq. 2-5. One call per
+        :func:`~repro.core.cluster_score.cluster_score` invocation, but
+        subset-candidate searches re-score identical row sets, and the
+        content key makes those repeats free."""
+        x = np.asarray(x, dtype=float)
+        key = content_key("pairwise-distances", x)
+        cached = self.cache.lookup(key)
+        if cached is not MISS:
+            return cached
+        return self.cache.put(key, pairwise_distances(x))
 
     def kmeans_sweep(self, x, kseeds, n_restarts):
         """``{k: labels}`` for the Eq. 6 sweep -- the cached/parallel

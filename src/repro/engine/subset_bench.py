@@ -1,0 +1,267 @@
+"""Sliced-vs-naive benchmark for the subset evaluator.
+
+Times the evaluator's core value proposition: scoring a 64-candidate
+subset search against a SPEC'17-sized suite through
+:class:`~repro.engine.subset_eval.SubsetEvaluator` (full-suite kernels
+precomputed once, each candidate scored by index slicing) versus the naive
+pre-evaluator path, where every candidate re-runs all four score kernels
+from scratch (full-suite scores plus the shared-bounds subset scores,
+exactly what ``LHSSubsetGenerator.report`` does per call).
+
+::
+
+    python -m repro.engine.subset_bench            # run and print
+    python -m repro.engine.subset_bench --write    # refresh BENCH_subset.json
+    python -m repro.engine.subset_bench --check    # exit 1 if below baseline
+
+The naive side is timed honestly but not run 64 times: the full-suite
+scoring pass is timed once and the from-scratch subset pass on
+``NAIVE_SAMPLE`` candidates, then both are scaled to the candidate count
+(per-candidate cost is uniform -- every candidate has the same size).
+Two naive baselines are reported:
+
+* ``speedup`` (the gated one): naive-per-candidate re-scoring,
+  ``n * (full + subset)`` -- the pre-evaluator cost of N independent
+  ``report()`` calls;
+* ``hoisted_speedup`` (informational): full-suite scores hoisted out of
+  the loop, ``full + n * subset`` -- the best a caller could do without
+  the sliced kernels.
+
+The sampled naive reports are additionally diffed bit-for-bit against
+the sliced ones: the speedup is only meaningful because the outputs are
+identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core.matrix import CounterMatrix
+from repro.core.subset import _scores, report_from_scores
+from repro.engine.engine import Engine
+from repro.engine.subset_eval import SubsetEvaluator
+
+#: SPEC'17-sized subject, trimmed series (matching the engine bench).
+SUBJECT = {"n_workloads": 43, "n_events": 6, "length": 64}
+SUBSET_SIZE = 8
+N_CANDIDATES = 64
+#: Candidates the naive path actually runs (then scaled to N_CANDIDATES).
+NAIVE_SAMPLE = 4
+MIN_SPEEDUP = 20.0
+DEFAULT_BASELINE = "BENCH_subset.json"
+
+
+def build_subject(seed=0, n_workloads=43, n_events=6, length=64):
+    """A synthetic CounterMatrix with series, sized like SPEC'17.
+
+    Every series touches its event's global minimum (``s[0] = 0``), so
+    any subset reproduces the full set's quantization origin and the
+    evaluator's sliced trend path engages for every candidate -- the
+    regime the bench is meant to measure (the fallback path's cost is
+    the naive path's, which is timed separately).
+    """
+    rng = np.random.default_rng(seed)
+    workloads = tuple(f"wl{i:02d}" for i in range(n_workloads))
+    events = tuple(f"ev{i}" for i in range(n_events))
+    series = {}
+    for event in events:
+        event_series = []
+        for _ in workloads:
+            s = rng.uniform(0.0, 10.0, size=length)
+            s[0] = 0.0
+            event_series.append(s)
+        series[event] = event_series
+    return CounterMatrix(
+        workloads=workloads,
+        events=events,
+        values=rng.uniform(1.0, 100.0, size=(n_workloads, n_events)),
+        series=series,
+        suite_name="bench-subset",
+    )
+
+
+def _candidates(matrix, n_candidates, subset_size, seed):
+    rng = np.random.default_rng(seed)
+    out = []
+    while len(out) < n_candidates:
+        names = tuple(
+            matrix.workloads[i]
+            for i in rng.choice(matrix.n_workloads, size=subset_size,
+                                replace=False)
+        )
+        if names not in out:
+            out.append(names)
+    return out
+
+
+def _report_sig(report):
+    """Bit-exact signature of a SubsetReport (selection, every score,
+    every deviation, the mean)."""
+    sig = [tuple(report.selected)]
+    for mapping in (report.full_scores, report.subset_scores,
+                    report.deviations):
+        sig.append(tuple(
+            (key, np.float64(value).tobytes())
+            for key, value in mapping.items()
+        ))
+    sig.append(np.float64(report.mean_deviation_pct).tobytes())
+    return sig
+
+
+def run_bench(seed=0, subject=None, n_candidates=N_CANDIDATES,
+              subset_size=SUBSET_SIZE, naive_sample=NAIVE_SAMPLE,
+              metric_seed=3):
+    """Run the sliced and (sampled) naive passes; return the result
+    record.
+
+    Returns
+    -------
+    dict
+        ``sliced_s`` (end-to-end, including the one-time precompute),
+        ``naive_est_s`` / ``hoisted_est_s`` with their measured inputs
+        (``full_s``, ``per_subset_s``), the two speedup ratios,
+        ``identical`` (sampled naive reports bit-equal to sliced ones),
+        ``all_sliced`` (every trend value came from the sliced path),
+        and the subject dimensions.
+    """
+    subject = dict(SUBJECT if subject is None else subject)
+    matrix = build_subject(seed=seed, **subject)
+    candidates = _candidates(matrix, n_candidates, subset_size, seed + 1)
+
+    # Sliced: one evaluator (which computes the full-suite scores and
+    # precomputes the kernels), then every candidate by slicing.
+    start = time.perf_counter()
+    evaluator = SubsetEvaluator(matrix, seed=metric_seed, engine=Engine())
+    sliced = [evaluator.evaluate(names) for names in candidates]
+    sliced_s = time.perf_counter() - start
+    all_sliced = all(
+        path == "sliced"
+        for report in sliced
+        for path in report.details["trend_paths"].values()
+    )
+
+    # Naive: the pre-evaluator from-scratch path, engine-free. Timed on
+    # one full-suite pass and `naive_sample` subset passes, scaled.
+    start = time.perf_counter()
+    full_scores = _scores(matrix, seed=metric_seed)
+    full_s = time.perf_counter() - start
+    start = time.perf_counter()
+    naive = [
+        report_from_scores(
+            names, full_scores,
+            _scores(matrix.select_workloads(names), seed=metric_seed,
+                    bounds_from=matrix),
+        )
+        for names in candidates[:naive_sample]
+    ]
+    per_subset_s = (time.perf_counter() - start) / naive_sample
+
+    identical = all(
+        _report_sig(n) == _report_sig(s)
+        for n, s in zip(naive, sliced[:naive_sample])
+    )
+    naive_est_s = n_candidates * (full_s + per_subset_s)
+    hoisted_est_s = full_s + n_candidates * per_subset_s
+    return {
+        "subject": {**subject, "subset_size": subset_size,
+                    "n_candidates": n_candidates,
+                    "naive_sample": naive_sample},
+        "sliced_s": round(sliced_s, 4),
+        "full_s": round(full_s, 4),
+        "per_subset_s": round(per_subset_s, 4),
+        "naive_est_s": round(naive_est_s, 4),
+        "hoisted_est_s": round(hoisted_est_s, 4),
+        "speedup": round(naive_est_s / sliced_s, 2)
+        if sliced_s > 0 else float("inf"),
+        "hoisted_speedup": round(hoisted_est_s / sliced_s, 2)
+        if sliced_s > 0 else float("inf"),
+        "identical": identical,
+        "all_sliced": all_sliced,
+        "min_speedup": MIN_SPEEDUP,
+    }
+
+
+def render(result):
+    subject = result["subject"]
+    lines = [
+        "subset sliced-vs-naive bench "
+        f"({subject['n_workloads']} workloads x "
+        f"{subject['n_events']} events, "
+        f"{subject['n_candidates']} candidates of size "
+        f"{subject['subset_size']}):",
+        f"  sliced:  {result['sliced_s']:.3f} s end-to-end "
+        "(precompute + all candidates)",
+        f"  naive:   {result['naive_est_s']:.3f} s estimated "
+        f"({result['full_s']:.3f} s full + {result['per_subset_s']:.3f} s "
+        f"per subset, x{subject['n_candidates']}; "
+        f"{subject['naive_sample']} candidates measured)",
+        f"  speedup: {result['speedup']:.1f}x vs naive re-scoring "
+        f"(baseline requires >= {result['min_speedup']:.0f}x), "
+        f"{result['hoisted_speedup']:.1f}x vs hoisted-full naive",
+        f"  sampled naive reports bit-identical to sliced: "
+        f"{result['identical']}",
+        f"  every candidate trend sliced (no fallback): "
+        f"{result['all_sliced']}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.subset_bench",
+        description="Time sliced subset evaluation vs naive per-candidate "
+                    "re-scoring.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="PATH", default=DEFAULT_BASELINE,
+                        help="baseline file for --write/--check")
+    parser.add_argument("--write", action="store_true",
+                        help="write the result as the new baseline")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless speedup >= the baseline's "
+                             "min_speedup and sampled results are "
+                             "bit-identical")
+    args = parser.parse_args(argv)
+
+    result = run_bench(seed=args.seed)
+    print(render(result))
+
+    if args.write:
+        with open(args.json, "w") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.json}")
+    if args.check:
+        try:
+            with open(args.json) as f:
+                baseline = json.load(f)
+            min_speedup = float(baseline.get("min_speedup", MIN_SPEEDUP))
+        except FileNotFoundError:
+            min_speedup = MIN_SPEEDUP
+        failures = []
+        if not result["identical"]:
+            failures.append(
+                "sampled naive reports are not bit-identical to sliced"
+            )
+        if not result["all_sliced"]:
+            failures.append("a candidate fell off the sliced trend path")
+        if result["speedup"] < min_speedup:
+            failures.append(
+                f"speedup {result['speedup']:.1f}x below the "
+                f"{min_speedup:.0f}x baseline"
+            )
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAIL: {failure}")
+            return 1
+        print(f"check passed: >= {min_speedup:.0f}x and bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -165,6 +165,122 @@ def check_determinism(suite_or_matrix, seed=0, focus="all",
     )
 
 
+def diff_search_results(a, b):
+    """Bit-level differences between two
+    :class:`~repro.engine.subset_eval.SubsetSearchResult` objects; empty
+    list means bit-identical (including every candidate's report and
+    which trend path each event took)."""
+    mismatches = []
+    for attr in ("suite", "subset_size", "method", "n_candidates"):
+        va, vb = getattr(a, attr), getattr(b, attr)
+        if va != vb:
+            mismatches.append(f"{attr}: {va!r} != {vb!r}")
+    if tuple(a.best.selected) != tuple(b.best.selected):
+        mismatches.append(
+            f"best.selected: {a.best.selected} != {b.best.selected}"
+        )
+    if len(a.reports) != len(b.reports):
+        mismatches.append(
+            f"n_evaluated: {len(a.reports)} != {len(b.reports)}"
+        )
+        return mismatches
+    for i, (ra, rb) in enumerate(zip(a.reports, b.reports)):
+        label = f"reports[{i}]"
+        if tuple(ra.selected) != tuple(rb.selected):
+            mismatches.append(
+                f"{label}.selected: {ra.selected} != {rb.selected}"
+            )
+            continue
+        for name in ("full_scores", "subset_scores", "deviations"):
+            _compare_mapping(f"{label}.{name}", getattr(ra, name),
+                             getattr(rb, name), mismatches)
+        if _bits(ra.mean_deviation_pct) != _bits(rb.mean_deviation_pct):
+            mismatches.append(_mismatch(f"{label}.mean_deviation_pct",
+                                        ra.mean_deviation_pct,
+                                        rb.mean_deviation_pct))
+        pa = ra.details.get("trend_paths")
+        pb = rb.details.get("trend_paths")
+        if pa != pb:
+            mismatches.append(
+                f"{label}.details['trend_paths']: {pa!r} != {pb!r}"
+            )
+    return mismatches
+
+
+@dataclass(frozen=True)
+class SearchDeterminismReport:
+    """Outcome of a subset-search determinism check.
+
+    Attributes
+    ----------
+    identical:
+        Whether every run's search result was bit-for-bit identical.
+    mismatches:
+        Human-readable descriptions of every bit-level difference.
+    results:
+        The search results, in run order.
+    seed:
+        The shared seed all runs used.
+    """
+
+    identical: bool
+    mismatches: tuple
+    results: tuple
+    seed: int
+
+    def __str__(self):
+        head = (f"subset-search determinism check (seed={self.seed}, "
+                f"method={self.results[0].method!r}, "
+                f"{self.results[0].n_evaluated} candidates): ")
+        if self.identical:
+            return (head + "PASS -- results bit-identical across "
+                    f"{len(self.results)} runs")
+        lines = [head + f"FAIL -- {len(self.mismatches)} mismatch(es)"]
+        lines.extend(f"  {m}" for m in self.mismatches)
+        return "\n".join(lines)
+
+
+def check_search_determinism(matrix, subset_size=4, n_candidates=8,
+                             method="swap", seed=0, workers=1):
+    """Run ``SubsetSearch.search`` twice from fresh engines under one
+    seed; diff the results bit-for-bit. Like :func:`check_determinism`,
+    two extra variant runs enforce the engine invariance contract:
+    cache disabled, and (when ``workers > 1``) candidate batches fanned
+    across that many worker processes.
+
+    Returns
+    -------
+    SearchDeterminismReport
+    """
+    from repro.engine import Engine, SubsetSearch
+
+    def run_once(cache=True, n_workers=1):
+        search = SubsetSearch(
+            matrix, subset_size, seed=seed,
+            engine=Engine(cache=cache, workers=n_workers),
+        )
+        return search.search(n_candidates, method=method)
+
+    results = [run_once(), run_once()]
+    mismatches = list(diff_search_results(results[0], results[1]))
+    variants = [("cache=off", {"cache": False})]
+    if workers > 1:
+        variants.append((f"workers={workers}", {"n_workers": workers}))
+    for label, kwargs in variants:
+        result = run_once(**kwargs)
+        mismatches.extend(
+            f"[{label}] {m}"
+            for m in diff_search_results(results[0], result)
+        )
+        results.append(result)
+    return SearchDeterminismReport(
+        identical=not mismatches,
+        mismatches=tuple(mismatches),
+        results=tuple(results),
+        seed=seed,
+    )
+
+
 def _default_subject(seed, quick):
     """A synthetic suite exercising all four scores through the full
     simulate-measure-score stack."""
@@ -205,7 +321,19 @@ def main(argv=None):
                                session_factory=factory,
                                workers=args.workers)
     print(report)
-    return 0 if report.identical else 1
+
+    # The sliced subset evaluator and search driver carry the same
+    # bit-identity contract; cover `subset --search` (swap refinement,
+    # cache off, workers=N) on a small synthetic matrix.
+    from repro.engine.bench import build_subject
+
+    search_report = check_search_determinism(
+        build_subject(seed=args.seed, n_workloads=10, n_events=3,
+                      length=32),
+        seed=args.seed, workers=args.workers,
+    )
+    print(search_report)
+    return 0 if report.identical and search_report.identical else 1
 
 
 if __name__ == "__main__":

@@ -177,14 +177,23 @@ def dtw_path(a, b, band=None):
     return float(acc[-1, -1]), _traceback(acc)
 
 
-def batched_pair_distances(x, idx_i, idx_j):
+#: Pairs per wavefront batch. The batched kernel materializes two
+#: ``(pairs, L, L)`` float64 tensors; at SPEC'17 scale (903 pairs,
+#: L=100) that is ~140 MB -- chunking the pair axis caps it at
+#: ~2 MB/chunk with no output change (the wavefront is elementwise
+#: over the pair axis, so chunk composition cannot move a bit).
+DEFAULT_PAIR_CHUNK = 128
+
+
+def batched_pair_distances(x, idx_i, idx_j, pair_chunk=DEFAULT_PAIR_CHUNK):
     """DTW distances for selected pairs of equal-length 1-D series.
 
-    One batched anti-diagonal wavefront over a ``(pairs, L, L)`` tensor.
-    Every operation is elementwise over the pair axis, so each pair's
-    distance is bit-identical no matter which other pairs share the
-    batch -- the engine's pair cache relies on that to mix cached and
-    freshly-computed pairs freely.
+    One batched anti-diagonal wavefront over a ``(pairs, L, L)`` tensor,
+    processed ``pair_chunk`` pairs at a time to cap peak memory. Every
+    operation is elementwise over the pair axis, so each pair's distance
+    is bit-identical no matter which other pairs share the batch or how
+    the batch is chunked -- the engine's pair cache relies on that to
+    mix cached and freshly-computed pairs freely.
 
     Parameters
     ----------
@@ -192,12 +201,31 @@ def batched_pair_distances(x, idx_i, idx_j):
         ``(k, L)`` matrix, one series per row.
     idx_i, idx_j:
         Row-index arrays of equal length selecting the pairs.
+    pair_chunk:
+        Maximum pairs per materialized ``(pairs, L, L)`` tensor;
+        ``None`` disables chunking (the pre-chunking behaviour).
 
     Returns
     -------
     numpy.ndarray
         ``(len(idx_i),)`` distances, one per requested pair.
     """
+    idx_i = np.asarray(idx_i)
+    idx_j = np.asarray(idx_j)
+    n_pairs = idx_i.shape[0]
+    if pair_chunk is not None and 0 < pair_chunk < n_pairs:
+        out = np.empty(n_pairs)
+        for start in range(0, n_pairs, pair_chunk):
+            stop = min(start + pair_chunk, n_pairs)
+            out[start:stop] = _pair_wavefront(
+                x, idx_i[start:stop], idx_j[start:stop]
+            )
+        return out
+    return _pair_wavefront(x, idx_i, idx_j)
+
+
+def _pair_wavefront(x, idx_i, idx_j):
+    """One materialized anti-diagonal wavefront over a pair batch."""
     length = x.shape[1]
     cost = np.abs(x[idx_i][:, :, None] - x[idx_j][:, None, :])
     acc = np.empty_like(cost)

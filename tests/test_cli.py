@@ -73,6 +73,19 @@ class TestCommands:
         assert "subset:" in out
         assert "mean deviation" in out
 
+    def test_subset_search_quick(self, capsys):
+        assert main(["--quick", "subset", "nbench", "--size", "4",
+                     "--search", "4", "--method", "swap"]) == 0
+        out = capsys.readouterr().out
+        assert "subset search (swap" in out
+        assert "mean deviation" in out
+
+    def test_subset_search_rejects_bad_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["subset", "nbench", "--size", "4",
+                                       "--search", "4", "--method",
+                                       "annealing"])
+
     def test_experiment_fig2(self, capsys):
         assert main(["experiment", "fig2"]) == 0
         out = capsys.readouterr().out

@@ -11,7 +11,10 @@ from repro.core.phases import (
 )
 from repro.core.subset import (
     LHSSubsetGenerator,
+    _mean_deviation,
+    random_subset_names,
     random_subset_report,
+    report_from_scores,
 )
 
 
@@ -109,6 +112,54 @@ class TestLHSSubset:
         report = random_subset_report(m, subset_size=8, seed=4)
         assert len(report.selected) == 8
         assert report.mean_deviation_pct >= 0
+
+    def test_random_subset_report_matches_exposed_draw(self):
+        m = grid_matrix(with_series=True)
+        report = random_subset_report(m, subset_size=6, seed=9)
+        assert tuple(report.selected) == random_subset_names(m, 6, seed=9)
+
+
+class TestSubsetReportEdgeCases:
+    """Regressions for NaN-score handling: a matrix without series has a
+    NaN trend score, which must neither crash ``__str__`` nor emit a
+    numpy warning from the empty-deviation mean."""
+
+    def test_str_prints_na_for_nan_scores(self):
+        m = grid_matrix(with_series=False)  # trend is NaN on both sides
+        report = LHSSubsetGenerator(subset_size=8, seed=1).report(m)
+        assert "trend" not in report.deviations
+        text = str(report)  # must not raise KeyError
+        assert "dev=n/a" in text
+
+    def test_mean_deviation_empty_is_nan_without_warning(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert np.isnan(_mean_deviation({}))
+
+    def test_all_nan_scores_report_renders(self):
+        report = report_from_scores(
+            ("a", "b"),
+            {"cluster": float("nan"), "trend": float("nan")},
+            {"cluster": float("nan"), "trend": float("nan")},
+        )
+        assert report.deviations == {}
+        assert np.isnan(report.mean_deviation_pct)
+        text = str(report)
+        assert text.count("dev=n/a") == 2
+
+    def test_report_from_scores_deviation_convention(self):
+        report = report_from_scores(
+            ("a", "b"),
+            {"cluster": 0.5, "coverage": 0.0, "trend": float("nan")},
+            {"cluster": 0.4, "coverage": 0.2, "trend": 1.0},
+        )
+        assert report.deviations["cluster"] == pytest.approx(20.0)
+        # Zero full-suite score: absolute deviation fallback.
+        assert report.deviations["coverage"] == pytest.approx(20.0)
+        assert "trend" not in report.deviations
+        assert report.mean_deviation_pct == pytest.approx(20.0)
 
 
 class TestPhaseDetection:

@@ -248,6 +248,44 @@ class TestEngineBitIdentity:
         assert engine.workers == 3
         assert engine.cache.enabled is False
 
+    def test_pairwise_distances_hook_matches_plain(self):
+        from repro.stats.distance import pairwise_distances
+
+        rng = np.random.default_rng(8)
+        x = rng.uniform(size=(7, 4))
+        engine = Engine()
+        hooked = engine.pairwise_distances(x)
+        plain = pairwise_distances(x)
+        assert hooked.tobytes() == plain.tobytes()
+
+    def test_pairwise_distances_hook_caches(self):
+        rng = np.random.default_rng(9)
+        x = rng.uniform(size=(6, 3))
+        engine = Engine()
+        first = engine.pairwise_distances(x)
+        before = engine.stats()
+        again = engine.pairwise_distances(x.copy())
+        delta = engine.stats().delta(before)
+        assert delta.hits == 1 and delta.misses == 0
+        assert again.tobytes() == first.tobytes()
+
+    def test_cluster_score_routes_distances_through_engine(self):
+        # cluster_score's silhouette distance matrix goes through the
+        # kernels hook: a cold engine misses on the pairwise-distances
+        # key, and a pre-warmed one hits it.
+        matrix = fixture_matrix(seed=10)
+        engine = Engine()
+        cold = engine.cluster_score(matrix, seed=3)
+        from repro.stats.preprocessing import minmax_normalize
+
+        x = minmax_normalize(matrix.values)
+        before = engine.stats()
+        engine.pairwise_distances(x)
+        delta = engine.stats().delta(before)
+        assert delta.hits == 1  # already there from the score above
+        assert_bits_equal(cold.value, cluster_score(matrix, seed=3).value,
+                          "cluster via hook")
+
 
 class TestSatelliteRegressions:
     def test_perspector_does_not_mutate_caller_config(self):

@@ -14,7 +14,9 @@ from repro.core.matrix import CounterMatrix
 from repro.qa.determinism import (
     DeterminismReport,
     check_determinism,
+    check_search_determinism,
     diff_scorecards,
+    diff_search_results,
 )
 
 
@@ -92,6 +94,49 @@ class TestDiffScorecards:
         text = str(report)
         assert "FAIL" in text
         assert "coverage" in text
+
+
+class TestSearchDeterminism:
+    def _matrix(self, seed=0):
+        from repro.engine.bench import build_subject
+
+        return build_subject(seed=seed, n_workloads=8, n_events=2,
+                             length=16)
+
+    def test_search_runs_are_bit_identical(self):
+        report = check_search_determinism(self._matrix(), subset_size=4,
+                                          n_candidates=4, seed=0)
+        assert report.identical, str(report)
+        # Two baseline runs plus the cache-off invariance run.
+        assert len(report.results) == 3
+        assert "PASS" in str(report)
+
+    def test_workers_adds_invariance_run(self):
+        report = check_search_determinism(self._matrix(), subset_size=4,
+                                          n_candidates=4, seed=0,
+                                          workers=2)
+        assert report.identical, str(report)
+        assert len(report.results) == 4
+
+    def test_diff_detects_injected_drift(self):
+        report = check_search_determinism(self._matrix(), subset_size=4,
+                                          n_candidates=3, method="lhs",
+                                          seed=1)
+        a = report.results[0]
+        r0 = dataclasses.replace(
+            a.reports[0],
+            mean_deviation_pct=a.reports[0].mean_deviation_pct + 1e-13,
+        )
+        drifted = dataclasses.replace(a, reports=(r0,) + a.reports[1:])
+        mismatches = diff_search_results(a, drifted)
+        assert any("mean_deviation_pct" in m for m in mismatches)
+
+    def test_diff_identical_is_empty(self):
+        report = check_search_determinism(self._matrix(), subset_size=4,
+                                          n_candidates=3, method="random",
+                                          seed=2)
+        assert diff_search_results(report.results[0],
+                                   report.results[1]) == []
 
 
 @pytest.mark.slow

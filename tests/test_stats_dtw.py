@@ -252,3 +252,40 @@ class TestKernelCrossChecks:
         cost = _local_cost_matrix(a[:, None], b[:, None])
         acc = _accumulate(cost)
         assert batched[0] == pytest.approx(acc[-1, -1], rel=1e-12)
+
+
+class TestPairChunking:
+    """The pair-axis chunking of batched_pair_distances is pure memory
+    management: every chunk size must reproduce the unchunked wavefront
+    bit for bit (the recurrence is elementwise along the pair axis)."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2 ** 31 - 1), st.integers(4, 8),
+           st.integers(1, 6))
+    def test_any_chunk_size_bitwise_equal(self, seed, k, pair_chunk):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(k, 9))
+        idx_i, idx_j = np.triu_indices(k, k=1)
+        unchunked = batched_pair_distances(x, idx_i, idx_j,
+                                           pair_chunk=None)
+        chunked = batched_pair_distances(x, idx_i, idx_j,
+                                         pair_chunk=pair_chunk)
+        assert chunked.tobytes() == unchunked.tobytes()
+
+    def test_default_chunk_bitwise_equal(self):
+        rng = np.random.default_rng(13)
+        x = rng.normal(size=(6, 11))
+        idx_i, idx_j = np.triu_indices(6, k=1)
+        default = batched_pair_distances(x, idx_i, idx_j)
+        unchunked = batched_pair_distances(x, idx_i, idx_j,
+                                           pair_chunk=None)
+        assert default.tobytes() == unchunked.tobytes()
+
+    def test_chunk_larger_than_pairs(self):
+        rng = np.random.default_rng(14)
+        x = rng.normal(size=(4, 8))
+        idx_i, idx_j = np.triu_indices(4, k=1)
+        big = batched_pair_distances(x, idx_i, idx_j, pair_chunk=10 ** 6)
+        unchunked = batched_pair_distances(x, idx_i, idx_j,
+                                           pair_chunk=None)
+        assert big.tobytes() == unchunked.tobytes()
