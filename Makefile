@@ -3,14 +3,17 @@
 # (both skipped with a notice when not installed) and the bit-for-bit
 # determinism checker (which also proves the parallel scoring engine --
 # and the sliced subset search -- bit-identical at workers=2).
-# `make bench` includes the engine's cold-vs-warm cache bench and the
-# subset evaluator's sliced-vs-naive bench, guarded by the
-# BENCH_engine.json / BENCH_subset.json baselines.
+# `make bench` includes the engine's cold-vs-warm cache bench, the
+# subset evaluator's sliced-vs-naive bench, and the warm-substrate
+# bench (persistent pool vs pool-per-call + disk-cold vs disk-warm
+# CLI), guarded by the BENCH_engine.json / BENCH_subset.json /
+# BENCH_parallel.json baselines.
 
 PYTHON ?= python
 RUN = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
 
-.PHONY: qa lint ruff mypy determinism test bench bench-engine bench-subset
+.PHONY: qa lint ruff mypy determinism test bench bench-engine \
+	bench-subset bench-parallel
 
 qa: lint ruff mypy determinism
 	@echo "qa: all gates passed"
@@ -38,7 +41,7 @@ determinism:
 test:
 	$(RUN) -m pytest -x -q
 
-bench: bench-engine bench-subset
+bench: bench-engine bench-subset bench-parallel
 	$(RUN) -m pytest benchmarks -q
 
 bench-engine:
@@ -46,3 +49,6 @@ bench-engine:
 
 bench-subset:
 	$(RUN) -m repro.engine.subset_bench --check
+
+bench-parallel:
+	$(RUN) -m repro.engine.parallel_bench --check

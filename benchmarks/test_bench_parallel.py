@@ -1,0 +1,45 @@
+"""Bench: warm execution substrate speedups.
+
+Like ``test_bench_engine.py`` this regenerates no paper artifact; it
+guards the DESIGN.md section 9 performance contracts against the
+committed ``BENCH_parallel.json`` baseline:
+
+* the persistent spawn pool must score a batch of matrices at least 2x
+  faster than the old pool-per-call lifecycle at ``workers=2``, with
+  scorecards bit-identical to a serial engine's;
+* a disk-warm CLI run sharing ``--cache-dir`` with a cold one must be
+  at least 2x faster and print byte-identical output.
+"""
+
+import json
+import pathlib
+
+from repro.engine.parallel_bench import MIN_SPEEDUP, render, run_bench
+
+from conftest import run_once
+
+BASELINE = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_parallel.json"
+
+
+def test_warm_substrate_speedups(benchmark):
+    result = run_once(benchmark, run_bench)
+    print()
+    print(render(result))
+
+    for leg in ("pool", "cli"):
+        assert result[leg]["identical"], \
+            f"{leg}: results drifted from the reference run"
+        assert result[leg]["speedup"] >= MIN_SPEEDUP, (
+            f"{leg}: speedup {result[leg]['speedup']:.1f}x is below "
+            f"the {MIN_SPEEDUP:.0f}x contract"
+        )
+
+
+def test_baseline_file_is_committed_and_consistent():
+    assert BASELINE.exists(), "BENCH_parallel.json baseline missing"
+    baseline = json.loads(BASELINE.read_text())
+    assert baseline["min_speedup"] == MIN_SPEEDUP
+    for leg in ("pool", "cli"):
+        assert baseline[leg]["identical"] is True
+        assert baseline[leg]["speedup"] >= baseline["min_speedup"]

@@ -12,9 +12,12 @@
 
 Scoring commands run the simulation stack end-to-end; ``--quick``
 switches to the short-trace preset. ``score``, ``compare``, ``subset``
-and ``experiment`` accept ``--workers N`` (parallel scoring fan-out) and
-``--no-cache`` (disable the engine's kernel cache); neither flag changes
-any output bit. ``lint`` runs the project's
+and ``experiment`` accept ``--workers N`` (fan scoring across a
+persistent spawn worker pool), ``--no-cache`` (disable the engine's
+kernel cache) and ``--cache-dir DIR`` / ``$REPRO_CACHE_DIR`` (persist
+measured suites and kernel results on disk, so repeat invocations
+start warm); none of the three changes any output bit. ``lint`` runs
+the project's
 static-analysis pass (:mod:`repro.qa.lint`) and ``qa`` the bit-for-bit
 determinism checker (:mod:`repro.qa.determinism`). The ``repro``
 console script is an alias of this one, so ``repro lint src/repro``
@@ -24,6 +27,7 @@ works as documented.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 
@@ -57,6 +61,7 @@ def _config(args, default_preset=ExperimentConfig.full):
         config,
         workers=getattr(args, "workers", 1),
         cache=not getattr(args, "no_cache", False),
+        cache_dir=getattr(args, "cache_dir", None),
     )
 
 
@@ -158,8 +163,9 @@ def _cmd_experiment(args):
 
 
 def _add_engine_flags(p):
-    """Scoring-engine knobs shared by every scoring subcommand. Neither
-    flag changes any output bit; both only trade speed for resources."""
+    """Scoring-engine knobs shared by every scoring subcommand. None of
+    these flags changes any output bit; they only trade speed for
+    resources."""
     p.add_argument(
         "--workers", type=int, default=1, metavar="N",
         help="worker processes for the scoring engine's parallel "
@@ -170,6 +176,15 @@ def _add_engine_flags(p):
         "--no-cache", action="store_true",
         help="disable the engine's content-addressed kernel cache "
              "(results are bit-identical either way)",
+    )
+    p.add_argument(
+        "--cache-dir", metavar="DIR",
+        default=os.environ.get("REPRO_CACHE_DIR") or None,
+        help="directory for the engine's on-disk cache tier: measured "
+             "suites and kernel results persist there under "
+             "content-addressed keys, so repeat invocations start warm "
+             "(default: $REPRO_CACHE_DIR if set, else memory-only; "
+             "results are bit-identical either way)",
     )
 
 

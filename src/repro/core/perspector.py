@@ -53,6 +53,12 @@ class PerspectorConfig:
         Enable the engine's content-addressed kernel cache. Results are
         bit-identical with the cache on or off; turning it off trades
         speed for memory.
+    cache_dir:
+        Optional directory for the engine's on-disk cache tier: kernel
+        results persist under their content-addressed keys, so a later
+        process (or CLI invocation) starts warm. ``None`` keeps the
+        cache memory-only. Like ``workers``/``cache``, the tier never
+        changes an output bit.
     """
 
     pca_variance: float = DEFAULT_VARIANCE
@@ -63,6 +69,7 @@ class PerspectorConfig:
     seed: int = 0
     workers: int = 1
     cache: bool = True
+    cache_dir: str | None = None
 
 
 class Perspector:
@@ -98,8 +105,7 @@ class Perspector:
         if self._engine is None:
             from repro.engine import Engine
 
-            self._engine = Engine(cache=self.config.cache,
-                                  workers=self.config.workers)
+            self._engine = Engine.from_config(self.config)
         return self._engine
 
     @property

@@ -149,22 +149,32 @@ class KernelCache:
     max_entries:
         Optional LRU bound (``None`` = unbounded; suite matrices are
         tiny, so the default is safe for experiment-sized runs).
+    disk:
+        Optional :class:`~repro.engine.diskcache.DiskCache` second
+        tier. Memory misses fall through to it (hits are promoted back
+        into memory), and puts write through -- under the *same*
+        content-addressed keys, so entries survive across processes and
+        CLI invocations. The tier only stores numeric payloads; other
+        values silently stay memory-only.
     """
 
-    def __init__(self, enabled=True, max_entries=None):
+    def __init__(self, enabled=True, max_entries=None, disk=None):
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.enabled = bool(enabled)
         self.max_entries = max_entries
+        self.disk = disk if self.enabled else None
         self._store = OrderedDict()
         self._hits = 0
         self._misses = 0
 
     # -- lookup ------------------------------------------------------------
 
-    def lookup(self, key):
+    def lookup(self, key, disk=True):
         """The cached value for ``key``, or :data:`MISS`; counts the
-        outcome."""
+        outcome. ``disk=False`` skips the disk tier (used for
+        fine-grained entries -- per-pair DTW floats -- where one file
+        per value would drown the tier in inodes)."""
         if not self.enabled:
             self._misses += 1
             return MISS
@@ -173,6 +183,10 @@ class KernelCache:
             self._store.move_to_end(key)
             return self._store[key]
         self._misses += 1
+        if disk and self.disk is not None:
+            value = self.disk.get(key)
+            if value is not MISS:
+                return self._remember(key, value)
         return MISS
 
     def peek(self, key):
@@ -182,22 +196,30 @@ class KernelCache:
             return MISS
         return self._store.get(key, MISS)
 
-    def put(self, key, value):
+    def put(self, key, value, disk=True):
         """Store a value (no-op when disabled). Returns the value, so
-        ``return cache.put(key, compute())`` reads naturally."""
+        ``return cache.put(key, compute())`` reads naturally. Writes
+        through to the disk tier unless ``disk=False``."""
         if self.enabled:
-            self._store[key] = value
-            self._store.move_to_end(key)
-            if self.max_entries is not None:
-                while len(self._store) > self.max_entries:
-                    self._store.popitem(last=False)
+            self._remember(key, value)
+            if disk and self.disk is not None:
+                self.disk.put(key, value)
         return value
 
-    def get_or_compute(self, key, compute):
+    def _remember(self, key, value):
+        """Memory-tier insert + LRU bound (no disk side effects)."""
+        self._store[key] = value
+        self._store.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+        return value
+
+    def get_or_compute(self, key, compute, disk=True):
         """The cached value for ``key``, computing and storing on miss."""
-        value = self.lookup(key)
+        value = self.lookup(key, disk=disk)
         if value is MISS:
-            value = self.put(key, compute())
+            value = self.put(key, compute(), disk=disk)
         return value
 
     # -- bookkeeping -------------------------------------------------------

@@ -97,10 +97,13 @@ def _kmeans_task(x, k, seed, n_restarts):
     return KMeans(k=k, seed=seed, n_restarts=n_restarts).fit(x).labels
 
 
-def _score_matrix_task(matrix, config, focus_value, normalize, cache):
+def _score_matrix_task(matrix, config, focus_value, normalize, cache,
+                       cache_dir=None):
     """Score one suite matrix in a worker with a fresh single-process
-    engine -- the same code path the serial loop runs."""
-    engine = Engine(cache=cache, workers=1)
+    engine -- the same code path the serial loop runs. The worker
+    shares the owner's disk tier (atomic renames make concurrent
+    writers safe), so its kernel results warm later runs too."""
+    engine = Engine(cache=cache, workers=1, cache_dir=cache_dir)
     return engine.score_matrix(matrix, config, focus_value,
                                normalize=normalize)
 
@@ -124,26 +127,85 @@ class Engine:
         bit-identical either way; the cache only buys speed).
     workers:
         Process count for the parallel fan-outs. ``1`` (default) keeps
-        today's serial path with zero pool overhead.
+        today's serial path with zero pool overhead; higher values run
+        a *persistent* spawn pool, created lazily on the first fan-out
+        and reused across every subsequent one.
     max_entries:
-        Optional LRU bound on the cache (``None`` = unbounded).
+        Optional LRU bound on the in-memory cache (``None`` = unbounded).
+    cache_dir:
+        Optional directory for the on-disk cache tier
+        (:class:`~repro.engine.diskcache.DiskCache`): kernel results
+        persist under the same content-addressed keys, so warm starts
+        survive across processes and CLI invocations. ``None`` (default)
+        keeps the cache memory-only.
+    disk_max_bytes:
+        Size cap for the disk tier (LRU-evicted on overflow).
+    shm_min_bytes:
+        Minimum ndarray operand size routed through the shared-memory
+        transport instead of the worker pickle pipe (``None`` = the
+        :data:`repro.engine.shm.DEFAULT_MIN_BYTES` default).
+    persistent_pool:
+        ``False`` restores the pool-per-call lifecycle; exists only for
+        the ``BENCH_parallel.json`` comparison arm.
     """
 
-    def __init__(self, cache=True, workers=1, max_entries=None):
-        self.cache = KernelCache(enabled=cache, max_entries=max_entries)
-        self.executor = ParallelExecutor(workers=workers)
+    def __init__(self, cache=True, workers=1, max_entries=None,
+                 cache_dir=None, disk_max_bytes=None, shm_min_bytes=None,
+                 persistent_pool=True):
+        disk = None
+        if cache and cache_dir is not None:
+            from repro.engine.diskcache import DEFAULT_MAX_BYTES, DiskCache
+
+            disk = DiskCache(
+                cache_dir,
+                max_bytes=(DEFAULT_MAX_BYTES if disk_max_bytes is None
+                           else disk_max_bytes),
+            )
+        self.cache = KernelCache(enabled=cache, max_entries=max_entries,
+                                 disk=disk)
+        executor_kwargs = {"workers": workers,
+                           "persistent": persistent_pool}
+        if shm_min_bytes is not None:
+            executor_kwargs["shm_min_bytes"] = shm_min_bytes
+        self.executor = ParallelExecutor(**executor_kwargs)
+        #: Digests seen in any cached DTW pair -- lets
+        #: :meth:`_any_pair_cached` answer "fully cold" in O(1) instead
+        #: of hashing O(n^2) candidate keys per trend call.
+        self._pair_digests = set()
 
     @property
     def workers(self):
         return self.executor.workers
 
+    @property
+    def cache_dir(self):
+        disk = self.cache.disk
+        return None if disk is None else disk.root
+
     @classmethod
     def from_config(cls, config):
         """Build an engine from any config carrying ``workers``/``cache``
-        knobs (:class:`~repro.core.perspector.PerspectorConfig`,
+        /``cache_dir`` knobs
+        (:class:`~repro.core.perspector.PerspectorConfig`,
         :class:`~repro.experiments.runner.ExperimentConfig`)."""
         return cls(cache=getattr(config, "cache", True),
-                   workers=getattr(config, "workers", 1))
+                   workers=getattr(config, "workers", 1),
+                   cache_dir=getattr(config, "cache_dir", None))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self):
+        """Shut the worker pool down and sweep shared-memory segments
+        (idempotent; also runs at gc/interpreter exit via the
+        executor's finalizers, so forgetting it leaks nothing)."""
+        self.executor.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -152,20 +214,35 @@ class Engine:
         return self.cache.stats()
 
     def clear(self):
-        """Drop all cached kernel results."""
+        """Drop all in-memory cached kernel results (the disk tier, if
+        any, is content-addressed and needs no invalidation)."""
         self.cache.clear()
+        self._pair_digests.clear()
+
+    def _counters(self):
+        """One flat snapshot of every counter that lands in
+        ``details['engine']`` as a per-pass delta."""
+        stats = self.cache.stats()
+        out = {"cache_hits": stats.hits, "cache_misses": stats.misses}
+        disk = self.cache.disk
+        if disk is not None:
+            out.update(disk.snapshot())
+        store = self.executor._store
+        if store is not None:
+            out["shm_published"] = store.published
+            out["shm_bytes_published"] = store.published_bytes
+        return out
 
     def _engine_details(self, before):
         """The ``SuiteScorecard.details['engine']`` payload for one
-        scoring pass that started at cache snapshot ``before``."""
-        delta = self.cache.stats().delta(before)
-        return {
-            "cache_hits": delta.hits,
-            "cache_misses": delta.misses,
-            "cache_entries": delta.entries,
-            "cache_enabled": self.cache.enabled,
-            "workers": self.workers,
-        }
+        scoring pass that started at counter snapshot ``before``."""
+        now = self._counters()
+        details = {key: now[key] - before.get(key, 0) for key in now}
+        details["cache_entries"] = len(self.cache)
+        details["cache_enabled"] = self.cache.enabled
+        details["cache_dir"] = self.cache_dir
+        details["workers"] = self.workers
+        return details
 
     # -- DTW (matrix + pair granularity) -----------------------------------
 
@@ -190,12 +267,14 @@ class Engine:
         pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
         # DTW accumulation is exactly symmetric (minimum is commutative,
         # additions see the same operands), so pairs are keyed on the
-        # sorted digest pair and shared across orientations.
+        # sorted digest pair and shared across orientations. Pair
+        # entries stay memory-only (disk=False): one file per float
+        # would drown the disk tier, and the matrix above them persists.
         pkeys = [
             content_key("dtw-pair", *sorted((digests[i], digests[j])), band)
             for i, j in pairs
         ]
-        values = [self.cache.lookup(k) for k in pkeys]
+        values = [self.cache.lookup(k, disk=False) for k in pkeys]
         missing = [p for p, v in enumerate(values) if v is MISS]
         if missing:
             if _fast_path(arrays, band):
@@ -204,14 +283,17 @@ class Engine:
                 idx_j = np.array([pairs[p][1] for p in missing])
                 fresh = batched_pair_distances(x, idx_i, idx_j)
                 for p, value in zip(missing, fresh):
-                    values[p] = self.cache.put(pkeys[p], float(value))
+                    values[p] = self.cache.put(pkeys[p], float(value),
+                                               disk=False)
             else:
                 for p in missing:
                     i, j = pairs[p]
                     values[p] = self.cache.put(
                         pkeys[p],
                         dtw_distance(arrays[i], arrays[j], band=band),
+                        disk=False,
                     )
+        self._pair_digests.update(digests)
         for (i, j), value in zip(pairs, values):
             out[i, j] = value
             out[j, i] = value
@@ -221,10 +303,9 @@ class Engine:
         """Cached DTW distance of one pair, sharing the pair store with
         :meth:`dtw_matrix` (and computed by the same kernel family)."""
         arrays = validate_series_list([a, b])
-        pkey = content_key(
-            "dtw-pair", *sorted(array_digest(s) for s in arrays), band,
-        )
-        value = self.cache.lookup(pkey)
+        digests = [array_digest(s) for s in arrays]
+        pkey = content_key("dtw-pair", *sorted(digests), band)
+        value = self.cache.lookup(pkey, disk=False)
         if value is not MISS:
             return value
         if _fast_path(arrays, band):
@@ -233,7 +314,8 @@ class Engine:
             )[0])
         else:
             value = dtw_distance(arrays[0], arrays[1], band=band)
-        return self.cache.put(pkey, value)
+        self._pair_digests.update(digests)
+        return self.cache.put(pkey, value, disk=False)
 
     def _store_trend_event(self, nkey, norm, band, dmatrix):
         """Merge one worker-computed trend-event result into the cache:
@@ -247,7 +329,8 @@ class Engine:
                 pkey = content_key(
                     "dtw-pair", *sorted((digests[i], digests[j])), band,
                 )
-                self.cache.put(pkey, float(dmatrix[i, j]))
+                self.cache.put(pkey, float(dmatrix[i, j]), disk=False)
+        self._pair_digests.update(digests)
         self.cache.put(
             content_key("dtw-matrix", tuple(norm), band), dmatrix,
         )
@@ -306,13 +389,27 @@ class Engine:
         return {event: values[event] for event in events}
 
     def _any_pair_cached(self, arrays, band):
+        """Whether any DTW pair over ``arrays`` is already cached -- the
+        inline-vs-pool routing heuristic for a trend event.
+
+        Routing only affects *where* a matrix is computed, never its
+        bits, so this may be cheap: the ``_pair_digests`` index answers
+        the common fully-cold case in O(1) (the old implementation
+        digested every series and hashed O(n^2) candidate keys per
+        call even when the cache was empty), digests are computed once
+        per call, and only pairs whose *both* digests have ever been
+        stored are worth a key hash + peek."""
+        if not self.cache.enabled or not self._pair_digests:
+            return False
         digests = [array_digest(a) for a in arrays]
-        n = len(arrays)
+        known = [d for d in digests if d in self._pair_digests]
+        if len(known) < 2:
+            return False
         return any(
             self.cache.peek(content_key(
-                "dtw-pair", *sorted((digests[i], digests[j])), band,
+                "dtw-pair", *sorted((known[i], known[j])), band,
             )) is not MISS
-            for i in range(n) for j in range(i + 1, n)
+            for i in range(len(known)) for j in range(i + 1, len(known))
         )
 
     @staticmethod
@@ -451,7 +548,7 @@ class Engine:
         through the cached kernels. Mirrors the Perspector scoring
         contract; ``details['engine']`` carries this pass's cache
         hit/miss counters."""
-        before = self.cache.stats()
+        before = self._counters()
         if matrix.n_workloads >= 4:
             cluster = self.cluster_score(
                 matrix, seed=config.seed, n_restarts=config.kmeans_restarts,
@@ -510,6 +607,7 @@ class Engine:
             ]
         return self.executor.map(
             _score_matrix_task,
-            [(m, config, focus_value, normalize, self.cache.enabled)
+            [(m, config, focus_value, normalize, self.cache.enabled,
+              self.cache_dir)
              for m in matrices],
         )

@@ -1,10 +1,10 @@
 """Deterministic parallel fan-out for the scoring engine.
 
 :class:`ParallelExecutor` maps a top-level function over a list of
-argument tuples, either serially (``workers=1``, the default -- today's
-behaviour, no process overhead) or across a
-:class:`~concurrent.futures.ProcessPoolExecutor`. Three properties make
-the fan-out safe for a bit-for-bit-reproducible pipeline:
+argument tuples, either serially (``workers=1``, the default -- no
+process overhead) or across a **persistent** worker pool. Three
+properties make the fan-out safe for a bit-for-bit-reproducible
+pipeline:
 
 * **Input-order reassembly.** Results always come back in submission
   order (``executor.map`` semantics), never completion order, so
@@ -16,49 +16,184 @@ the fan-out safe for a bit-for-bit-reproducible pipeline:
   serial path runs, so each element's result is bit-identical whether
   it was computed in-process or in a worker.
 
+Two transport/lifecycle decisions (new in the warm execution substrate;
+see DESIGN.md section 9):
+
+* **The pool is created lazily, once, and reused** across every ``map``
+  call of the executor's lifetime. Trend scoring issues one fan-out per
+  pending-event batch, K-means one per sweep, the subset search one per
+  candidate batch -- paying pool startup per *call* multiplied that
+  cost by the number of calls (the ``BENCH_parallel.json`` gate holds
+  the persistent pool to >= 2x over pool-per-call). Cleanup runs via
+  ``close()``/context-manager, and via :func:`weakref.finalize` when
+  the executor is dropped or the interpreter exits.
+* **The start method is pinned to ``"spawn"``** on every platform. The
+  platform-default ``fork`` duplicates the parent mid-flight: BLAS
+  thread pools, the ``random``/NumPy global RNG state, and any open
+  file descriptors come along, which is both a portability hazard
+  (macOS/Windows spawn anyway) and a determinism hazard (a forked BLAS
+  lock or inherited RNG draw makes worker behaviour depend on what the
+  parent did *before* the fork). Spawned workers import fresh and see
+  exactly the task arguments -- nothing else.
+
+Large read-only ndarray operands are transported through
+:mod:`repro.engine.shm` instead of the pickle pipe: ``map`` publishes
+each distinct array once per call (one *generation*), ships tiny
+handles, and sweeps the segments in ``finally``.
+
 The ``repro.qa.determinism`` checker verifies the resulting scorecards
 are bit-identical across worker counts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import multiprocessing
+import weakref
+
+from repro.engine import shm
+
+#: Pinned start method -- see the module docstring for why not ``fork``.
+START_METHOD = "spawn"
 
 
 def _invoke(payload):
-    """Top-level trampoline so (fn, args) pairs survive pickling."""
+    """Top-level trampoline so (fn, args) pairs survive pickling; shm
+    handles are resolved to read-only arrays before the call."""
     fn, args = payload
-    return fn(*args)
+    return fn(*shm.restore(args))
 
 
-@dataclass
+def _shutdown_pool(pool):
+    """Finalizer target: tear one pool down without keeping the
+    executor alive."""
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
 class ParallelExecutor:
-    """Map tasks over an optional process pool, preserving input order.
+    """Map tasks over an optional persistent process pool, preserving
+    input order.
 
     Parameters
     ----------
     workers:
         Process count. ``1`` runs everything inline in the calling
-        process (no pool is created at all); higher values fan out.
+        process (no pool is ever created); higher values fan out.
+    persistent:
+        Reuse one lazily-created pool across ``map`` calls (default).
+        ``False`` restores the pool-per-call lifecycle -- kept only as
+        the comparison arm of ``repro.engine.parallel_bench``.
+    shm_min_bytes:
+        Minimum ndarray operand size routed through shared memory
+        instead of the pickle pipe (``0`` publishes everything).
     """
 
-    workers: int = 1
+    def __init__(self, workers=1, persistent=True,
+                 shm_min_bytes=shm.DEFAULT_MIN_BYTES):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.persistent = persistent
+        self.shm_min_bytes = shm_min_bytes
+        self._pool = None
+        self._pool_finalizer = None
+        self._store = None
 
-    def __post_init__(self):
-        if self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {self.workers}")
+    # -- pool lifecycle ----------------------------------------------------
+
+    @property
+    def start_method(self):
+        return START_METHOD
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context(START_METHOD),
+            )
+            self._pool = pool
+            self._pool_finalizer = weakref.finalize(
+                self, _shutdown_pool, pool,
+            )
+        return self._pool
+
+    def _dispose_pool(self):
+        if self._pool_finalizer is not None:
+            self._pool_finalizer()  # detaches; idempotent
+            self._pool_finalizer = None
+        self._pool = None
+
+    def close(self):
+        """Shut the pool down and sweep the operand store (idempotent;
+        also runs via ``weakref.finalize`` at gc/interpreter exit)."""
+        self._dispose_pool()
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    # -- transport ---------------------------------------------------------
+
+    @property
+    def store(self):
+        """The lazily-created shared-memory operand store."""
+        if self._store is None:
+            self._store = shm.ShmStore()
+        return self._store
+
+    def _chunksize(self, n_tasks):
+        """Batch pipe round-trips: ~4 chunks per worker balances pickle
+        amortization against tail latency, matching stdlib guidance."""
+        return max(1, n_tasks // (self.workers * 4))
+
+    # -- mapping -----------------------------------------------------------
 
     def map(self, fn, arg_tuples):
         """Apply ``fn(*args)`` for each args tuple; results in input order.
 
         ``fn`` must be a module-level function and every argument
         picklable when ``workers > 1``. Single-element batches always
-        run inline -- there is nothing to overlap.
+        run inline -- there is nothing to overlap. A task that *raises*
+        propagates the exception but leaves the pool healthy for the
+        next call; a task that kills its worker process breaks the pool,
+        which is disposed so the next call starts a fresh one.
         """
         arg_tuples = list(arg_tuples)
         if self.workers == 1 or len(arg_tuples) < 2:
             return [fn(*args) for args in arg_tuples]
-        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
 
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(_invoke, [(fn, args) for args in arg_tuples]))
+        store = self.store
+        try:
+            payloads = [
+                (fn, shm.substitute(args, store, self.shm_min_bytes))
+                for args in arg_tuples
+            ]
+            chunksize = self._chunksize(len(payloads))
+            if self.persistent:
+                pool = self._ensure_pool()
+                try:
+                    return list(pool.map(_invoke, payloads,
+                                         chunksize=chunksize))
+                except BrokenProcessPool:
+                    self._dispose_pool()
+                    raise
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context(START_METHOD),
+            ) as pool:
+                return list(pool.map(_invoke, payloads,
+                                     chunksize=chunksize))
+        finally:
+            # End of generation: segments published for this call are
+            # unlinked even on exceptions or KeyboardInterrupt.
+            store.sweep()

@@ -1,0 +1,230 @@
+"""Warm-substrate benchmark: persistent pool and on-disk cache tier.
+
+Two timed comparisons, one per leg of the warm execution substrate
+(DESIGN.md section 9), each guarded by the committed
+``BENCH_parallel.json`` baseline:
+
+* **pool**: scoring a batch of matrices through one engine whose
+  persistent spawn pool is created once and reused across every
+  fan-out, versus the old pool-per-call lifecycle
+  (``Engine(persistent_pool=False)``, kept exactly for this comparison
+  arm). Every ``map`` call under pool-per-call pays worker spawn +
+  numpy import again; the contract is >= 2x.
+* **cli**: two identical CLI invocations (separate processes) sharing
+  one ``--cache-dir``. The first is disk-cold and simulates + scores
+  from scratch; the second finds the measured suite and the kernel
+  results in the on-disk tier and must finish >= 2x faster, printing
+  byte-identical output.
+
+::
+
+    python -m repro.engine.parallel_bench            # run and print
+    python -m repro.engine.parallel_bench --write    # refresh baseline
+    python -m repro.engine.parallel_bench --check    # gate (exit 1)
+
+Timings are machine-dependent; the two speedup *ratios* are the
+contract. Both comparisons also enforce bit-identity: the fanned
+scorecards are diffed against a serial engine's, and the warm CLI
+stdout against the cold one's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.core.perspector import PerspectorConfig
+from repro.engine.bench import build_subject
+from repro.engine.engine import Engine
+
+#: Both legs must clear this ratio (also stored in the baseline).
+MIN_SPEEDUP = 2.0
+DEFAULT_BASELINE = "BENCH_parallel.json"
+
+#: Pool-leg subject: several mid-sized matrices scored back to back, so
+#: the engine issues a stream of fan-outs (K-means sweep + trend batch
+#: per matrix) against one pool.
+SUBJECT = {"n_workloads": 18, "n_events": 4, "length": 48}
+N_MATRICES = 3
+WORKERS = 2
+
+#: CLI-leg suite: the smallest modelled suite, so the cold run stays
+#: around a second at the --quick preset.
+CLI_SUITE = "nbench"
+
+
+def _score_all(engine, matrices, config):
+    return [engine.score_matrix(m, config, "all") for m in matrices]
+
+
+def run_pool_bench(seed=0, workers=WORKERS, n_matrices=N_MATRICES,
+                   subject=None):
+    """Persistent pool vs pool-per-call on one scoring batch."""
+    from repro.qa.determinism import diff_scorecards
+
+    subject = dict(SUBJECT if subject is None else subject)
+    matrices = [
+        build_subject(seed=seed + i, **subject) for i in range(n_matrices)
+    ]
+    config = PerspectorConfig(seed=3)
+    serial = _score_all(Engine(workers=1), matrices, config)
+
+    with Engine(workers=workers) as engine:
+        start = time.perf_counter()
+        persistent_cards = _score_all(engine, matrices, config)
+        persistent_s = time.perf_counter() - start
+
+    with Engine(workers=workers, persistent_pool=False) as engine:
+        start = time.perf_counter()
+        per_call_cards = _score_all(engine, matrices, config)
+        per_call_s = time.perf_counter() - start
+
+    identical = all(
+        not diff_scorecards(s, p) and not diff_scorecards(s, c)
+        for s, p, c in zip(serial, persistent_cards, per_call_cards)
+    )
+    return {
+        "subject": {**subject, "n_matrices": n_matrices,
+                    "workers": workers},
+        "per_call_s": round(per_call_s, 4),
+        "persistent_s": round(persistent_s, 4),
+        "speedup": (round(per_call_s / persistent_s, 2)
+                    if persistent_s > 0 else float("inf")),
+        "identical": identical,
+    }
+
+
+def _cli_command(suite, cache_dir):
+    return [sys.executable, "-m", "repro.cli", "--quick", "score", suite,
+            "--cache-dir", cache_dir]
+
+
+def _cli_env():
+    """Child env whose PYTHONPATH resolves this very repro package."""
+    src = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    env = dict(os.environ)
+    current = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not current else os.pathsep.join(
+        [src, current])
+    return env
+
+
+def run_cli_bench(suite=CLI_SUITE):
+    """Disk-cold vs disk-warm CLI invocation sharing one --cache-dir."""
+    env = _cli_env()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        command = _cli_command(suite, tmp)
+        start = time.perf_counter()
+        cold = subprocess.run(command, env=env, capture_output=True,
+                              text=True, check=True)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = subprocess.run(command, env=env, capture_output=True,
+                              text=True, check=True)
+        warm_s = time.perf_counter() - start
+    return {
+        "suite": suite,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": (round(cold_s / warm_s, 2)
+                    if warm_s > 0 else float("inf")),
+        "identical": cold.stdout == warm.stdout,
+    }
+
+
+def run_bench(seed=0):
+    """Both legs; returns the combined result record."""
+    return {
+        "pool": run_pool_bench(seed=seed),
+        "cli": run_cli_bench(),
+        "min_speedup": MIN_SPEEDUP,
+    }
+
+
+def render(result):
+    pool, cli = result["pool"], result["cli"]
+    subject = pool["subject"]
+    lines = [
+        "warm-substrate bench "
+        f"({subject['n_matrices']} matrices x {subject['n_workloads']} "
+        f"workloads, workers={subject['workers']}):",
+        f"  pool-per-call:   {pool['per_call_s']:.3f} s",
+        f"  persistent pool: {pool['persistent_s']:.3f} s "
+        f"({pool['speedup']:.1f}x; gate >= "
+        f"{result['min_speedup']:.0f}x)",
+        f"  fanned scorecards bit-identical to serial: "
+        f"{pool['identical']}",
+        f"disk-tier CLI bench (--quick score {cli['suite']}, shared "
+        "--cache-dir):",
+        f"  cold run:        {cli['cold_s']:.3f} s",
+        f"  warm run:        {cli['warm_s']:.3f} s "
+        f"({cli['speedup']:.1f}x; gate >= {result['min_speedup']:.0f}x)",
+        f"  warm stdout identical to cold: {cli['identical']}",
+    ]
+    return "\n".join(lines)
+
+
+def check(result, baseline):
+    """Failure strings (empty = pass) for a result vs a baseline."""
+    min_speedup = float(baseline.get("min_speedup", MIN_SPEEDUP))
+    failures = []
+    for leg in ("pool", "cli"):
+        if not result[leg]["identical"]:
+            failures.append(f"{leg}: results are not bit-identical")
+        if result[leg]["speedup"] < min_speedup:
+            failures.append(
+                f"{leg}: speedup {result[leg]['speedup']:.1f}x below "
+                f"the {min_speedup:.0f}x baseline"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.parallel_bench",
+        description="Time the persistent worker pool vs pool-per-call "
+                    "and a disk-cold vs disk-warm CLI run.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="PATH", default=DEFAULT_BASELINE,
+                        help="baseline file for --write/--check")
+    parser.add_argument("--write", action="store_true",
+                        help="write the result as the new baseline")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless both speedups clear the "
+                             "baseline's min_speedup, bit-identically")
+    args = parser.parse_args(argv)
+
+    result = run_bench(seed=args.seed)
+    print(render(result))
+
+    if args.write:
+        with open(args.json, "w") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.json}")
+    if args.check:
+        try:
+            with open(args.json) as f:
+                baseline = json.load(f)
+        except FileNotFoundError:
+            baseline = {}
+        failures = check(result, baseline)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAIL: {failure}")
+            return 1
+        print(f"check passed: both legs >= "
+              f"{float(baseline.get('min_speedup', MIN_SPEEDUP)):.0f}x "
+              "and bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

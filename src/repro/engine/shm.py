@@ -1,0 +1,284 @@
+"""Shared-memory operand transport for the persistent worker pool.
+
+``ProcessPoolExecutor`` moves every task argument through a pickle
+pipe. For the engine's fan-outs that is pure waste whenever the same
+large read-only array rides along with many tasks -- the K-means sweep
+sends the identical normalized matrix once *per k*, trend batches send
+whole series sets, and the subset search ships the full counter matrix
+to every batch. :class:`ShmStore` fixes the transport: the owner
+publishes each distinct operand **once per generation** (one generation
+= one ``ParallelExecutor.map`` call) into a
+:mod:`multiprocessing.shared_memory` segment keyed by its content
+digest, tasks carry a tiny :class:`ShmRef` handle instead, and workers
+attach zero-copy.
+
+Cleanup is guaranteed three ways:
+
+* every segment lives in the store's tracked registry and is unlinked
+  by :meth:`ShmStore.sweep` in the ``finally`` of the ``map`` call that
+  published it -- an exception (or KeyboardInterrupt) mid-fan-out still
+  sweeps;
+* the registry itself is hooked to :func:`weakref.finalize`, so a store
+  that is dropped or survives to interpreter exit unlinks whatever is
+  left (``finalize`` callbacks run at exit, including the exit path of
+  an uncaught KeyboardInterrupt);
+* ``repro qa`` scans for segments carrying our :data:`SEGMENT_PREFIX`
+  after its runs (:func:`leaked_segments`) and fails on leftovers.
+
+Worker-side attaches are cached per segment name (an LRU, since
+generations retire names). On Python < 3.13 even a plain attach
+registers with the resource tracker; spawn workers inherit the owner's
+tracker process, whose registry is a set, so that re-registration is a
+no-op and the owner's deliberate unlink unregisters exactly once
+(3.13's ``track=False`` makes the same arrangement explicit).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.engine.cache import array_digest
+
+#: Name prefix of every segment this module creates. The ``repro qa``
+#: leak check greps ``/dev/shm`` for it.
+SEGMENT_PREFIX = "reproshm"
+
+#: Default minimum operand size (bytes) worth a segment. Below this,
+#: pickling through the pipe is cheaper than a shm create/attach pair;
+#: tests and qa force the shm path with ``min_bytes=0``.
+DEFAULT_MIN_BYTES = 64 * 1024
+
+#: Worker-side attach cache bound (segments, not bytes). Old names are
+#: closed as generations retire them; entries whose buffer is still
+#: exported to a live numpy view survive eviction (BufferError).
+_ATTACH_CACHE_MAX = 32
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """Pickle-cheap handle to one published read-only array."""
+
+    name: str
+    dtype: str
+    shape: tuple
+
+
+@dataclass(frozen=True)
+class PackedMatrix:
+    """A :class:`~repro.core.matrix.CounterMatrix` disassembled for
+    transport, so its values matrix and per-event series ride through
+    shared memory like any other operand."""
+
+    workloads: tuple
+    events: tuple
+    values: object
+    series: dict
+    suite_name: str
+
+
+class ShmStore:
+    """Owner-side registry of published shared-memory segments.
+
+    One store belongs to one :class:`~repro.engine.parallel.ParallelExecutor`.
+    ``publish`` dedupes by content digest, so an operand repeated across
+    the tasks of one fan-out is written exactly once; ``sweep`` unlinks
+    everything published so far (the end of a generation).
+    """
+
+    def __init__(self, prefix=SEGMENT_PREFIX):
+        self._prefix = prefix
+        self._segments = {}  # digest -> (SharedMemory, ShmRef)
+        self._counter = 0
+        self.published = 0
+        self.published_bytes = 0
+        # The registry dict (not `self`) goes to the finalizer: cleanup
+        # must not keep the store alive, and must still run at
+        # interpreter exit if the store does survive that long.
+        self._finalizer = weakref.finalize(
+            self, _unlink_segments, self._segments,
+        )
+
+    def __len__(self):
+        return len(self._segments)
+
+    def publish(self, array):
+        """Publish one array; returns its :class:`ShmRef` (deduped by
+        content digest within the current generation)."""
+        a = np.ascontiguousarray(array)
+        digest = array_digest(a)
+        hit = self._segments.get(digest)
+        if hit is not None:
+            return hit[1]
+        name = f"{self._prefix}-{os.getpid()}-{self._counter}-{digest[:12]}"
+        self._counter += 1
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, a.nbytes),
+        )
+        try:
+            view = np.ndarray(a.shape, dtype=a.dtype, buffer=segment.buf)
+            view[...] = a
+            del view
+        except BaseException:
+            segment.close()
+            segment.unlink()
+            raise
+        ref = ShmRef(name=name, dtype=str(a.dtype), shape=tuple(a.shape))
+        self._segments[digest] = (segment, ref)
+        self.published += 1
+        self.published_bytes += a.nbytes
+        return ref
+
+    def sweep(self):
+        """Unlink every published segment (end of a generation)."""
+        _unlink_segments(self._segments)
+
+    def close(self):
+        """Sweep and detach the exit-time finalizer (idempotent)."""
+        self._finalizer()
+
+
+def _unlink_segments(segments):
+    """Close + unlink every segment in a registry dict, tolerating
+    segments some other path already removed."""
+    while segments:
+        _digest, (segment, _ref) = segments.popitem()
+        try:
+            segment.close()
+            segment.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+# -- argument substitution (owner side) -------------------------------------
+
+
+def substitute(obj, store, min_bytes=DEFAULT_MIN_BYTES):
+    """Deep-replace large ndarrays in a task-argument structure with
+    :class:`ShmRef` handles published through ``store``. Containers are
+    rebuilt (same type); everything else passes through untouched."""
+    if isinstance(obj, np.ndarray):
+        if obj.nbytes >= min_bytes and obj.dtype.hasobject is False:
+            return store.publish(obj)
+        return obj
+    if isinstance(obj, tuple):
+        return tuple(substitute(o, store, min_bytes) for o in obj)
+    if isinstance(obj, list):
+        return [substitute(o, store, min_bytes) for o in obj]
+    if isinstance(obj, dict):
+        return {k: substitute(v, store, min_bytes) for k, v in obj.items()}
+    from repro.core.matrix import CounterMatrix
+
+    if isinstance(obj, CounterMatrix):
+        return PackedMatrix(
+            workloads=obj.workloads,
+            events=obj.events,
+            values=substitute(obj.values, store, min_bytes),
+            series=substitute(obj.series, store, min_bytes),
+            suite_name=obj.suite_name,
+        )
+    return obj
+
+
+# -- worker side -------------------------------------------------------------
+
+_ATTACHED = OrderedDict()  # segment name -> SharedMemory
+_ATTACH_EXIT_HOOKED = False
+
+
+def _close_attached():
+    while _ATTACHED:
+        _name, segment = _ATTACHED.popitem(last=False)
+        try:
+            segment.close()
+        except BufferError:
+            pass
+
+
+def _attach(name):
+    global _ATTACH_EXIT_HOOKED
+    segment = _ATTACHED.get(name)
+    if segment is not None:
+        _ATTACHED.move_to_end(name)
+        return segment
+    segment = shared_memory.SharedMemory(name=name)
+    # Python < 3.13 registers even a plain *attach* with the resource
+    # tracker. That is benign here -- spawn workers inherit the owner's
+    # tracker process, whose registry is a set, so the attach is a
+    # no-op re-registration and the owner's unlink unregisters exactly
+    # once. (With 3.13+ this becomes ``track=False``; unregistering
+    # from the worker instead would cancel the owner's registration in
+    # the shared tracker and forfeit the crash safety net.)
+    if not _ATTACH_EXIT_HOOKED:
+        atexit.register(_close_attached)
+        _ATTACH_EXIT_HOOKED = True
+    _ATTACHED[name] = segment
+    while len(_ATTACHED) > _ATTACH_CACHE_MAX:
+        stale_name, stale = _ATTACHED.popitem(last=False)
+        try:
+            stale.close()
+        except BufferError:
+            # A live numpy view still exports the buffer; keep it open.
+            _ATTACHED[stale_name] = stale
+            _ATTACHED.move_to_end(stale_name, last=False)
+            break
+    return segment
+
+
+def resolve(ref):
+    """Attach one :class:`ShmRef` and return a read-only ndarray view."""
+    segment = _attach(ref.name)
+    view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype),
+                      buffer=segment.buf)
+    view.flags.writeable = False
+    return view
+
+
+def restore(obj):
+    """Deep-resolve :class:`ShmRef` handles back into arrays (the
+    worker-side inverse of :func:`substitute`)."""
+    if isinstance(obj, ShmRef):
+        return resolve(obj)
+    if isinstance(obj, tuple):
+        return tuple(restore(o) for o in obj)
+    if isinstance(obj, list):
+        return [restore(o) for o in obj]
+    if isinstance(obj, dict):
+        return {k: restore(v) for k, v in obj.items()}
+    if isinstance(obj, PackedMatrix):
+        from repro.core.matrix import CounterMatrix
+
+        return CounterMatrix(
+            workloads=obj.workloads,
+            events=obj.events,
+            values=restore(obj.values),
+            series=restore(obj.series),
+            suite_name=obj.suite_name,
+        )
+    return obj
+
+
+# -- leak check ---------------------------------------------------------------
+
+
+def leaked_segments(prefix=SEGMENT_PREFIX):
+    """Names of live shared-memory segments carrying our prefix.
+
+    Linux backs :mod:`multiprocessing.shared_memory` with tmpfs files
+    under ``/dev/shm``; on platforms without that directory the check
+    degrades to "nothing observable" (empty list).
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return []
+    try:
+        entries = os.listdir(shm_dir)
+    except OSError:
+        return []
+    return sorted(e for e in entries if e.startswith(prefix))

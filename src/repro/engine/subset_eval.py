@@ -75,12 +75,15 @@ from repro.stats.preprocessing import minmax_normalize
 
 
 def _evaluate_batch_task(matrix, batch, seed, full_scores, n_points, band,
-                         cdf, cache):
+                         cdf, cache, cache_dir=None):
     """Evaluate one batch of candidate subsets in a worker with a fresh
     single-process evaluator -- the same code path the serial loop runs,
-    so the reports are bit-identical to in-process evaluation."""
+    so the reports are bit-identical to in-process evaluation. Sharing
+    the owner's disk tier means the precomputed full-suite kernels are
+    usually a disk hit instead of a recompute."""
     evaluator = SubsetEvaluator(
-        matrix, seed=seed, engine=Engine(cache=cache, workers=1),
+        matrix, seed=seed,
+        engine=Engine(cache=cache, workers=1, cache_dir=cache_dir),
         full_scores=full_scores, n_points=n_points, band=band, cdf=cdf,
     )
     return [evaluator.evaluate(names) for names in batch]
@@ -557,7 +560,7 @@ class SubsetSearch:
                 [(self.evaluator.matrix, batch, self.evaluator.seed,
                   self.evaluator.full_scores, self.evaluator.n_points,
                   self.evaluator.band, self.evaluator.cdf,
-                  engine.cache.enabled)
+                  engine.cache.enabled, engine.cache_dir)
                  for batch in batches],
             )
             for batch, batch_reports in zip(batches, results):

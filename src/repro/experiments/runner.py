@@ -29,10 +29,14 @@ _CACHE = {}
 class ExperimentConfig:
     """Trace-length and seed settings shared by the experiment drivers.
 
-    ``workers`` and ``cache`` configure the scoring engine
-    (:class:`repro.engine.Engine`): process fan-out width and the
-    content-addressed kernel cache. Neither affects any output bit --
-    they only change how fast the drivers regenerate the figures.
+    ``workers``, ``cache`` and ``cache_dir`` configure the scoring
+    engine (:class:`repro.engine.Engine`): process fan-out width, the
+    content-addressed kernel cache, and its optional on-disk tier. None
+    of them affects any output bit -- they only change how fast the
+    drivers regenerate the figures. With ``cache_dir`` set, the
+    *measured suites themselves* also persist there (keyed by suite
+    name + every measurement field), so a warm CLI invocation skips the
+    suite simulations entirely.
     """
 
     n_intervals: int = 16
@@ -43,12 +47,13 @@ class ExperimentConfig:
     metric_seed: int = 3
     workers: int = 1
     cache: bool = True
+    cache_dir: str | None = None
 
     def measurement_key(self):
         """The fields that determine measured traces. Scoring knobs
-        (``metric_seed``, ``workers``, ``cache``) are excluded, so
-        re-scoring the same traces under different settings reuses the
-        measurement cache."""
+        (``metric_seed``, ``workers``, ``cache``, ``cache_dir``) are
+        excluded, so re-scoring the same traces under different
+        settings reuses the measurement cache."""
         return (self.n_intervals, self.ops_per_interval,
                 self.warmup_intervals, self.warmup_boost, self.seed)
 
@@ -89,17 +94,49 @@ def measure_suites(names, config=None):
     dict[str, CounterMatrix]
     """
     config = config if config is not None else ExperimentConfig.full()
+    disk = _disk_for(config)
     out = {}
     session = None
     for name in names:
         key = (name, config.measurement_key())
         if key not in _CACHE:
-            if session is None:
-                session = config.session()
-            measurement = session.run_suite(load_suite(name))
-            _CACHE[key] = CounterMatrix.from_measurement(measurement)
+            matrix = None
+            dkey = None
+            if disk is not None:
+                from repro.engine.cache import MISS, content_key
+
+                dkey = content_key("measured-suite", name,
+                                   *config.measurement_key())
+                cached = disk.get(dkey)
+                if cached is not MISS:
+                    matrix = cached
+            if matrix is None:
+                if session is None:
+                    session = config.session()
+                measurement = session.run_suite(load_suite(name))
+                matrix = CounterMatrix.from_measurement(measurement)
+                if disk is not None:
+                    disk.put(dkey, matrix)
+            _CACHE[key] = matrix
         out[name] = _CACHE[key]
     return out
+
+
+_DISK_TIERS = {}
+
+
+def _disk_for(config):
+    """The measurement disk tier for a config (one
+    :class:`~repro.engine.diskcache.DiskCache` per directory, shared
+    with the scoring engine's tier -- same root, same key space)."""
+    cache_dir = getattr(config, "cache_dir", None)
+    if not cache_dir or not getattr(config, "cache", True):
+        return None
+    if cache_dir not in _DISK_TIERS:
+        from repro.engine.diskcache import DiskCache
+
+        _DISK_TIERS[cache_dir] = DiskCache(cache_dir)
+    return _DISK_TIERS[cache_dir]
 
 
 def perspector_for(config, session=None):
@@ -114,6 +151,7 @@ def perspector_for(config, session=None):
             seed=config.metric_seed,
             workers=config.workers,
             cache=config.cache,
+            cache_dir=getattr(config, "cache_dir", None),
         ),
     )
 

@@ -7,9 +7,13 @@ order-dependent reduction is hiding somewhere. This checker runs
 instances under one seed -- and diffs the scorecards through the IEEE-754
 bit patterns of every score and every per-item decomposition value
 (NaN == NaN under this comparison, unlike ``==``). It also enforces the
-scoring engine's invariance contract: disabling the kernel cache, or
-fanning the work across ``--workers N`` processes, must not move a
-single bit.
+scoring engine's invariance contract: disabling the kernel cache,
+fanning the work across ``--workers N`` processes of the persistent
+spawn pool (with and without shared-memory transport forced on), or
+going through a cold-then-warm on-disk cache tier, must not move a
+single bit. The CLI entry point finishes with a leak check: no
+shared-memory segments may remain in ``/dev/shm`` and no half-written
+tmp artifacts may remain in the disk-cache directory.
 
 Run it as ``python -m repro.qa.determinism`` (the default drives a
 synthetic suite through the full simulate-measure-score stack, covering
@@ -118,7 +122,7 @@ class DeterminismReport:
 
 
 def check_determinism(suite_or_matrix, seed=0, focus="all",
-                      session_factory=None, workers=1):
+                      session_factory=None, workers=1, cache_dir=None):
     """Score the input twice under one seed; diff the results bit-for-bit.
 
     Each run builds a *fresh* Perspector (and, unless ``session_factory``
@@ -127,10 +131,19 @@ def check_determinism(suite_or_matrix, seed=0, focus="all",
     setting a user hitting reproducibility bugs would be in.
 
     On top of the two baseline runs, the check verifies the scoring
-    engine's invariance contract: a run with the kernel cache disabled
-    -- and, when ``workers > 1``, a run fanned across that many worker
-    processes -- must each be bit-identical to the baseline. Mismatches
-    from those runs are prefixed with the variant label.
+    engine's invariance contract through a set of variant runs, each of
+    which must be bit-identical to the baseline (mismatches are
+    prefixed with the variant label):
+
+    * the kernel cache disabled;
+    * when ``workers > 1``: the work fanned across that many processes
+      of the engine's persistent spawn pool, and a second fanned run
+      with the shared-memory operand transport forced on for every
+      array (``shm_min_bytes=0``);
+    * when ``cache_dir`` is given: a disk-cold run that populates the
+      on-disk tier, then a disk-warm run (fresh process-level state,
+      same directory) that must reproduce the baseline from the
+      persisted entries.
 
     Returns
     -------
@@ -138,19 +151,36 @@ def check_determinism(suite_or_matrix, seed=0, focus="all",
     """
     from repro.core.perspector import Perspector, PerspectorConfig
 
-    def run_once(**config_kwargs):
+    def run_once(engine_kwargs=None, **config_kwargs):
         session = None if session_factory is None else session_factory()
+        engine = None
+        if engine_kwargs is not None:
+            from repro.engine import Engine
+
+            engine = Engine(**engine_kwargs)
         perspector = Perspector(
             session=session,
             config=PerspectorConfig(seed=seed, **config_kwargs),
+            engine=engine,
         )
-        return perspector.score(suite_or_matrix, focus=focus)
+        try:
+            return perspector.score(suite_or_matrix, focus=focus)
+        finally:
+            if engine is not None:
+                engine.close()
 
     cards = [run_once(), run_once()]
     mismatches = list(diff_scorecards(cards[0], cards[1]))
     variants = [("cache=off", {"cache": False})]
     if workers > 1:
         variants.append((f"workers={workers}", {"workers": workers}))
+        variants.append((
+            f"workers={workers}+shm",
+            {"engine_kwargs": {"workers": workers, "shm_min_bytes": 0}},
+        ))
+    if cache_dir is not None:
+        variants.append(("disk-cold", {"cache_dir": cache_dir}))
+        variants.append(("disk-warm", {"cache_dir": cache_dir}))
     for label, config_kwargs in variants:
         card = run_once(**config_kwargs)
         mismatches.extend(
@@ -241,12 +271,16 @@ class SearchDeterminismReport:
 
 
 def check_search_determinism(matrix, subset_size=4, n_candidates=8,
-                             method="swap", seed=0, workers=1):
+                             method="swap", seed=0, workers=1,
+                             cache_dir=None):
     """Run ``SubsetSearch.search`` twice from fresh engines under one
     seed; diff the results bit-for-bit. Like :func:`check_determinism`,
-    two extra variant runs enforce the engine invariance contract:
-    cache disabled, and (when ``workers > 1``) candidate batches fanned
-    across that many worker processes.
+    extra variant runs enforce the engine invariance contract: cache
+    disabled; when ``workers > 1``, candidate batches fanned across
+    that many processes of the persistent spawn pool (plus a fanned run
+    with shared-memory transport forced for every array); and when
+    ``cache_dir`` is given, a disk-cold then a disk-warm run against
+    the on-disk cache tier.
 
     Returns
     -------
@@ -254,18 +288,25 @@ def check_search_determinism(matrix, subset_size=4, n_candidates=8,
     """
     from repro.engine import Engine, SubsetSearch
 
-    def run_once(cache=True, n_workers=1):
-        search = SubsetSearch(
-            matrix, subset_size, seed=seed,
-            engine=Engine(cache=cache, workers=n_workers),
-        )
-        return search.search(n_candidates, method=method)
+    def run_once(**engine_kwargs):
+        engine = Engine(**engine_kwargs)
+        try:
+            search = SubsetSearch(matrix, subset_size, seed=seed,
+                                  engine=engine)
+            return search.search(n_candidates, method=method)
+        finally:
+            engine.close()
 
     results = [run_once(), run_once()]
     mismatches = list(diff_search_results(results[0], results[1]))
     variants = [("cache=off", {"cache": False})]
     if workers > 1:
-        variants.append((f"workers={workers}", {"n_workers": workers}))
+        variants.append((f"workers={workers}", {"workers": workers}))
+        variants.append((f"workers={workers}+shm",
+                         {"workers": workers, "shm_min_bytes": 0}))
+    if cache_dir is not None:
+        variants.append(("disk-cold", {"cache_dir": cache_dir}))
+        variants.append(("disk-warm", {"cache_dir": cache_dir}))
     for label, kwargs in variants:
         result = run_once(**kwargs)
         mismatches.extend(
@@ -316,24 +357,51 @@ def main(argv=None):
                              "processes to be bit-identical")
     args = parser.parse_args(argv)
 
-    suite, factory = _default_subject(args.seed, quick=not args.full)
-    report = check_determinism(suite, seed=args.seed, focus=args.focus,
-                               session_factory=factory,
-                               workers=args.workers)
-    print(report)
+    import gc
+    import tempfile
 
-    # The sliced subset evaluator and search driver carry the same
-    # bit-identity contract; cover `subset --search` (swap refinement,
-    # cache off, workers=N) on a small synthetic matrix.
-    from repro.engine.bench import build_subject
+    from repro.engine.diskcache import stale_artifacts
+    from repro.engine.shm import leaked_segments
 
-    search_report = check_search_determinism(
-        build_subject(seed=args.seed, n_workloads=10, n_events=3,
-                      length=32),
-        seed=args.seed, workers=args.workers,
-    )
-    print(search_report)
-    return 0 if report.identical and search_report.identical else 1
+    with tempfile.TemporaryDirectory(prefix="repro-qa-cache-") as tmp:
+        suite, factory = _default_subject(args.seed, quick=not args.full)
+        report = check_determinism(suite, seed=args.seed, focus=args.focus,
+                                   session_factory=factory,
+                                   workers=args.workers, cache_dir=tmp)
+        print(report)
+
+        # The sliced subset evaluator and search driver carry the same
+        # bit-identity contract; cover `subset --search` (swap
+        # refinement, cache off, workers=N, disk-cold/disk-warm) on a
+        # small synthetic matrix.
+        from repro.engine.bench import build_subject
+
+        search_report = check_search_determinism(
+            build_subject(seed=args.seed, n_workloads=10, n_events=3,
+                          length=32),
+            seed=args.seed, workers=args.workers, cache_dir=tmp,
+        )
+        print(search_report)
+
+        # Leak checks: every shared-memory segment published during the
+        # fanned runs must be unlinked by now (the engines were closed),
+        # and the disk tier must hold no half-written tmp files or
+        # stale lock artifacts.
+        gc.collect()
+        leaked = leaked_segments()
+        stale = stale_artifacts(tmp)
+        if leaked:
+            print(f"leak check: FAIL -- {len(leaked)} shared-memory "
+                  f"segment(s) left in /dev/shm: {sorted(leaked)}")
+        elif stale:
+            print(f"leak check: FAIL -- {len(stale)} stale disk-cache "
+                  f"artifact(s): {sorted(stale)}")
+        else:
+            print("leak check: PASS -- no shared-memory segments or "
+                  "disk-cache tmp artifacts left behind")
+    ok = (report.identical and search_report.identical
+          and not leaked and not stale)
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

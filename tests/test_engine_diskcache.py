@@ -1,0 +1,219 @@
+"""Tests for the on-disk cache tier: bit-exact round-trips, corruption
+and version tolerance, atomic writes, LRU eviction, and its wiring into
+KernelCache/Engine."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import CounterMatrix
+from repro.engine import MISS, DiskCache, KernelCache, content_key
+from repro.engine.diskcache import (
+    FORMAT_VERSION,
+    decode,
+    encode,
+    stale_artifacts,
+)
+
+from tests.test_engine import fixture_matrix
+
+
+def _key(*parts):
+    return content_key("test-kernel", *parts)
+
+
+class TestRoundTrip:
+    def test_float_bit_exact(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        for value in (0.1 + 0.2, -0.0, float("nan"), float("inf"),
+                      np.nextafter(1.0, 2.0)):
+            key = _key("f", repr(value))
+            assert cache.put(key, value)
+            out = cache.get(key)
+            assert isinstance(out, float)
+            assert np.float64(out).tobytes() == np.float64(value).tobytes()
+
+    def test_int_round_trip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.put(_key("i"), 12345)
+        out = cache.get(_key("i"))
+        assert out == 12345 and isinstance(out, int)
+
+    def test_array_bit_exact(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        a = np.random.default_rng(0).uniform(size=(7, 5))
+        a[0, 0] = np.nan
+        assert cache.put(_key("a"), a)
+        out = cache.get(_key("a"))
+        assert out.dtype == a.dtype and out.shape == a.shape
+        assert out.tobytes() == a.tobytes()
+
+    def test_array_seq_preserves_container_type(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        arrays = [np.arange(4, dtype=float), np.ones((2, 3))]
+        assert cache.put(_key("l"), arrays)
+        assert cache.put(_key("t"), tuple(arrays))
+        out_list = cache.get(_key("l"))
+        out_tuple = cache.get(_key("t"))
+        assert isinstance(out_list, list) and isinstance(out_tuple, tuple)
+        for got, want in zip(list(out_list) + list(out_tuple), arrays * 2):
+            assert got.tobytes() == want.tobytes()
+
+    def test_counter_matrix_round_trip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        matrix = fixture_matrix(seed=2)
+        assert cache.put(_key("m"), matrix)
+        out = cache.get(_key("m"))
+        assert isinstance(out, CounterMatrix)
+        assert out.workloads == matrix.workloads
+        assert out.events == matrix.events
+        assert out.suite_name == matrix.suite_name
+        assert out.values.tobytes() == matrix.values.tobytes()
+        for event in matrix.events:
+            for a, b in zip(out.series[event], matrix.series[event]):
+                assert a.tobytes() == b.tobytes()
+
+    def test_unsupported_values_are_skipped(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        for value in (True, "a string", {"dict": 1}, object(),
+                      [np.ones(2), "mixed"],
+                      np.array([None, object()], dtype=object)):
+            assert not cache.put(_key("u", repr(type(value))), value)
+        assert encode(object()) is None
+        assert cache.writes == 0
+
+    def test_unknown_payload_type_raises(self):
+        with pytest.raises(ValueError, match="payload type"):
+            decode({"type": "mystery"}, [])
+
+
+class TestRobustness:
+    def test_miss_on_absent_key(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.get(_key("absent")) is MISS
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_miss_and_deleted(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = _key("c")
+        cache.put(key, np.ones(8))
+        path = cache._path(key)
+        with open(path, "wb") as f:
+            f.write(b"garbage that is not a header\n")
+        assert cache.get(key) is MISS
+        assert not os.path.exists(path)  # cannot fail twice
+
+    def test_truncated_entry_is_miss_and_deleted(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = _key("trunc")
+        cache.put(key, np.arange(64, dtype=float))
+        path = cache._path(key)
+        with open(path, "rb") as f:
+            payload = f.read()
+        with open(path, "wb") as f:
+            f.write(payload[:len(payload) // 2])
+        assert cache.get(key) is MISS
+        assert not os.path.exists(path)
+
+    def test_version_mismatch_is_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = _key("v")
+        cache.put(key, 1.5)
+        path = cache._path(key)
+        with open(path, "rb") as f:
+            header = json.loads(f.readline())
+            rest = f.read()
+        header["version"] = FORMAT_VERSION + 1
+        with open(path, "wb") as f:
+            f.write(json.dumps(header).encode() + b"\n" + rest)
+        assert cache.get(key) is MISS
+
+    def test_put_same_key_twice_is_noop(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = _key("dup")
+        assert cache.put(key, 1.0)
+        assert not cache.put(key, 1.0)  # content-addressed: same bytes
+        assert cache.writes == 1
+
+    def test_no_tmp_files_after_writes(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        for i in range(5):
+            cache.put(_key("w", i), np.ones(16) * i)
+        assert stale_artifacts(tmp_path) == []
+
+    def test_stale_artifacts_finds_orphans(self, tmp_path):
+        orphan = tmp_path / f"v{FORMAT_VERSION}" / "ab" / ".dead.123.tmp"
+        orphan.parent.mkdir(parents=True)
+        orphan.write_bytes(b"half-written")
+        assert stale_artifacts(tmp_path) == [str(orphan)]
+
+    def test_invalid_max_bytes_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            DiskCache(tmp_path, max_bytes=0)
+
+
+class TestEviction:
+    def test_lru_evicts_oldest_first(self, tmp_path):
+        cache = DiskCache(tmp_path, max_bytes=4096)
+        keys = [_key("e", i) for i in range(6)]
+        for i, key in enumerate(keys):
+            cache.put(key, np.ones(128) * i)  # ~1 KiB each
+            path = cache._path(key)
+            if os.path.exists(path):  # may already be evicted
+                os.utime(path, (i + 1, i + 1))
+        assert cache.evictions > 0
+        # the newest entries survive, the oldest were evicted
+        assert cache.get(keys[-1]) is not MISS
+        assert cache.get(keys[0]) is MISS
+
+    def test_hit_touches_entry_for_lru(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = _key("touch")
+        cache.put(key, 2.0)
+        os.utime(cache._path(key), (1, 1))
+        before = os.stat(cache._path(key)).st_mtime
+        assert cache.get(key) == 2.0
+        assert os.stat(cache._path(key)).st_mtime > before
+
+
+class TestKernelCacheIntegration:
+    def test_memory_miss_falls_through_to_disk(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        key = _key("k")
+        disk.put(key, 4.25)
+        cache = KernelCache(disk=disk)
+        assert cache.lookup(key) == 4.25
+        assert disk.hits == 1
+        # promoted: a second lookup is a memory hit, not a disk hit
+        assert cache.lookup(key) == 4.25
+        assert disk.hits == 1
+
+    def test_put_writes_through_to_disk(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        cache = KernelCache(disk=disk)
+        cache.put(_key("wt"), 7.5)
+        fresh = KernelCache(disk=DiskCache(tmp_path))
+        assert fresh.lookup(_key("wt")) == 7.5
+
+    def test_disk_false_keeps_entry_memory_only(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        cache = KernelCache(disk=disk)
+        cache.put(_key("mem"), 1.25, disk=False)
+        assert disk.writes == 0
+        assert DiskCache(tmp_path).get(_key("mem")) is MISS
+
+    def test_get_or_compute_prefers_disk_over_compute(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        key = _key("goc")
+        disk.put(key, 9.0)
+        cache = KernelCache(disk=disk)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return -1.0
+
+        assert cache.get_or_compute(key, compute) == 9.0
+        assert calls == []

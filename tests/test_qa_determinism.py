@@ -48,10 +48,18 @@ class TestMatrixPath:
         assert report.seed == 4
         assert report.scorecards[0].suite_name == "determinism-fixture"
 
-    def test_workers_adds_invariance_run(self):
+    def test_workers_adds_invariance_runs(self):
+        # ...plus the fanned run and the fanned+forced-shm run.
         report = check_determinism(fixture_matrix(), seed=0, workers=2)
         assert report.identical, str(report)
-        assert len(report.scorecards) == 4
+        assert len(report.scorecards) == 5
+
+    def test_cache_dir_adds_disk_runs(self, tmp_path):
+        report = check_determinism(fixture_matrix(), seed=0,
+                                   cache_dir=str(tmp_path))
+        assert report.identical, str(report)
+        # Two baselines, cache-off, disk-cold, disk-warm.
+        assert len(report.scorecards) == 5
 
     def test_focus_is_threaded_through(self):
         report = check_determinism(fixture_matrix(), seed=0, focus="llc")
@@ -111,12 +119,21 @@ class TestSearchDeterminism:
         assert len(report.results) == 3
         assert "PASS" in str(report)
 
-    def test_workers_adds_invariance_run(self):
+    def test_workers_adds_invariance_runs(self):
+        # ...plus the fanned run and the fanned+forced-shm run.
         report = check_search_determinism(self._matrix(), subset_size=4,
                                           n_candidates=4, seed=0,
                                           workers=2)
         assert report.identical, str(report)
-        assert len(report.results) == 4
+        assert len(report.results) == 5
+
+    def test_cache_dir_adds_disk_runs(self, tmp_path):
+        report = check_search_determinism(self._matrix(), subset_size=4,
+                                          n_candidates=4, seed=0,
+                                          cache_dir=str(tmp_path))
+        assert report.identical, str(report)
+        # Two baselines, cache-off, disk-cold, disk-warm.
+        assert len(report.results) == 5
 
     def test_diff_detects_injected_drift(self):
         report = check_search_determinism(self._matrix(), subset_size=4,
