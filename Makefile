@@ -4,16 +4,17 @@
 # determinism checker (which also proves the parallel scoring engine --
 # and the sliced subset search -- bit-identical at workers=2).
 # `make bench` includes the engine's cold-vs-warm cache bench, the
-# subset evaluator's sliced-vs-naive bench, and the warm-substrate
+# subset evaluator's sliced-vs-naive bench, the warm-substrate
 # bench (persistent pool vs pool-per-call + disk-cold vs disk-warm
-# CLI), guarded by the BENCH_engine.json / BENCH_subset.json /
-# BENCH_parallel.json baselines.
+# CLI), and the tracing-overhead bench, guarded by the
+# BENCH_engine.json / BENCH_subset.json / BENCH_parallel.json /
+# BENCH_obs.json baselines.
 
 PYTHON ?= python
 RUN = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
 
 .PHONY: qa lint ruff mypy determinism test bench bench-engine \
-	bench-subset bench-parallel
+	bench-subset bench-parallel bench-obs
 
 qa: lint ruff mypy determinism
 	@echo "qa: all gates passed"
@@ -41,7 +42,7 @@ determinism:
 test:
 	$(RUN) -m pytest -x -q
 
-bench: bench-engine bench-subset bench-parallel
+bench: bench-engine bench-subset bench-parallel bench-obs
 	$(RUN) -m pytest benchmarks -q
 
 bench-engine:
@@ -52,3 +53,6 @@ bench-subset:
 
 bench-parallel:
 	$(RUN) -m repro.engine.parallel_bench --check
+
+bench-obs:
+	$(RUN) -m repro.obs.bench --check

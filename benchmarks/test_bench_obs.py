@@ -1,0 +1,46 @@
+"""Bench: span-tracing overhead on a full score pass.
+
+Regenerates no paper artifact; it guards the observability layer's cost
+contracts from DESIGN.md §10 against the committed ``BENCH_obs.json``
+baseline -- a traced cache-off score pass within 5% of untraced, the
+no-op ``span()`` path under 1% of the untraced wall time, and the
+traced scorecard bit-identical to the untraced one.
+"""
+
+import json
+import pathlib
+
+from repro.obs.bench import MAX_NOOP_PCT, MAX_OVERHEAD_PCT, run_bench
+
+from conftest import run_once
+
+BASELINE = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_obs.json"
+
+
+def test_tracing_overhead(benchmark):
+    result = run_once(benchmark, run_bench)
+    print()
+    from repro.obs.bench import render
+
+    print(render(result))
+
+    assert result["identical"], "traced scorecard drifted from untraced"
+    assert result["overhead_pct"] <= MAX_OVERHEAD_PCT, (
+        f"tracing overhead {result['overhead_pct']:+.1f}% exceeds the "
+        f"{MAX_OVERHEAD_PCT:.0f}% contract"
+    )
+    assert result["noop_total_pct"] <= MAX_NOOP_PCT, (
+        f"no-op span cost {result['noop_total_pct']:.3f}% exceeds the "
+        f"{MAX_NOOP_PCT:.0f}% contract"
+    )
+
+
+def test_baseline_file_is_committed_and_consistent():
+    assert BASELINE.exists(), "BENCH_obs.json baseline missing"
+    baseline = json.loads(BASELINE.read_text())
+    assert baseline["max_overhead_pct"] == MAX_OVERHEAD_PCT
+    assert baseline["max_noop_pct"] == MAX_NOOP_PCT
+    assert baseline["identical"] is True
+    assert baseline["overhead_pct"] <= baseline["max_overhead_pct"]
+    assert baseline["noop_total_pct"] <= baseline["max_noop_pct"]

@@ -9,6 +9,7 @@
     perspector experiment fig1|fig2|fig3|fig4|fig5|fig6|subset|mux|ablations
     perspector lint [paths ...]
     perspector qa [--seed N]
+    perspector obs summary TRACE [--top N]
 
 Scoring commands run the simulation stack end-to-end; ``--quick``
 switches to the short-trace preset. ``score``, ``compare``, ``subset``
@@ -22,6 +23,17 @@ static-analysis pass (:mod:`repro.qa.lint`) and ``qa`` the bit-for-bit
 determinism checker (:mod:`repro.qa.determinism`). The ``repro``
 console script is an alias of this one, so ``repro lint src/repro``
 works as documented.
+
+Every subcommand also accepts ``--trace FILE`` / ``--trace-format
+{jsonl,chrome}`` (default: ``$REPRO_TRACE`` if set): the run executes
+under a span tracer (:mod:`repro.obs`) and writes the span log plus a
+run manifest (``FILE.manifest.json``) on exit. Tracing never changes
+an output bit -- ``repro qa`` checks that. ``repro obs summary FILE``
+renders a JSONL trace as a human report (top spans by self time,
+cache-tier hit rates, pool utilization).
+
+Report tables go to stdout; status lines (``wrote ...``) go to stderr,
+so piping a report into a file never interleaves progress chatter.
 """
 
 from __future__ import annotations
@@ -94,7 +106,9 @@ def _cmd_compare(args):
     if args.csv:
         with open(args.csv, "w") as f:
             f.write(comparison.to_csv())
-        print(f"\nwrote {args.csv}")
+        # Status goes to stderr: stdout carries only the report tables,
+        # so redirecting them to a file stays clean.
+        print(f"wrote {args.csv}", file=sys.stderr)
     return 0
 
 
@@ -162,6 +176,32 @@ def _cmd_experiment(args):
     return 0
 
 
+def _cmd_obs(args):
+    from repro.obs import summarize_file
+
+    print(summarize_file(args.trace_path, top=args.top))
+    return 0
+
+
+def _add_trace_flags(p):
+    """Span-tracing knobs, shared by every subcommand. Tracing never
+    changes any output bit (``repro qa`` enforces that)."""
+    p.add_argument(
+        "--trace", metavar="FILE",
+        default=os.environ.get("REPRO_TRACE") or None,
+        help="run under a span tracer and write the span log to FILE "
+             "on exit, plus a run manifest to FILE.manifest.json "
+             "(default: $REPRO_TRACE if set, else tracing off; outputs "
+             "are bit-identical either way)",
+    )
+    p.add_argument(
+        "--trace-format", choices=["jsonl", "chrome"], default="jsonl",
+        help="span-log format: one JSON record per line (readable by "
+             "'obs summary') or Chrome trace-event JSON for "
+             "chrome://tracing (default: jsonl)",
+    )
+
+
 def _add_engine_flags(p):
     """Scoring-engine knobs shared by every scoring subcommand. None of
     these flags changes any output bit; they only trade speed for
@@ -197,13 +237,15 @@ def build_parser():
                         help="short-trace preset (fast, noisier)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("suites", help="list modelled suites")
+    p_suites = sub.add_parser("suites", help="list modelled suites")
+    _add_trace_flags(p_suites)
 
     p_score = sub.add_parser("score", help="score one suite")
     p_score.add_argument("suite", choices=available_suites())
     p_score.add_argument("--focus", default="all",
                          choices=["all", "llc", "tlb", "branch", "core"])
     _add_engine_flags(p_score)
+    _add_trace_flags(p_score)
 
     p_cmp = sub.add_parser("compare", help="compare suites jointly")
     p_cmp.add_argument("suites", nargs="+", choices=available_suites())
@@ -214,6 +256,7 @@ def build_parser():
     p_cmp.add_argument("--bars", action="store_true",
                        help="print bar panels per score")
     _add_engine_flags(p_cmp)
+    _add_trace_flags(p_cmp)
 
     p_sub = sub.add_parser(
         "subset", help="LHS subset generation / multi-candidate search"
@@ -234,10 +277,12 @@ def build_parser():
              "search (default: lhs)",
     )
     _add_engine_flags(p_sub)
+    _add_trace_flags(p_sub)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
     _add_engine_flags(p_exp)
+    _add_trace_flags(p_exp)
 
     p_lint = sub.add_parser(
         "lint", help="run the QA static-analysis pass over the tree"
@@ -246,6 +291,7 @@ def build_parser():
                         help="files or directories (default: src/repro)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    _add_trace_flags(p_lint)
 
     p_qa = sub.add_parser(
         "qa", help="bit-for-bit determinism check of the scoring pipeline"
@@ -260,11 +306,30 @@ def build_parser():
         help="also check engine invariance at this worker count "
              "(scorecards must be bit-identical to the serial path)",
     )
+    _add_trace_flags(p_qa)
 
     p_rep = sub.add_parser(
         "report", help="full suite report (scores + characterization)"
     )
     p_rep.add_argument("suite", help="suite name or path to a JSON spec")
+    _add_trace_flags(p_rep)
+
+    p_obs = sub.add_parser(
+        "obs", help="observability utilities (span traces)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_sum = obs_sub.add_parser(
+        "summary",
+        help="render a JSONL span trace as a human report: top spans "
+             "by self time, cache-tier hit rates, pool utilization",
+    )
+    # dest is trace_path, not trace: main() keys "run under a tracer"
+    # off args.trace, and summarizing a trace must not be traced.
+    p_sum.add_argument("trace_path", metavar="TRACE",
+                       help="JSONL trace file (from --trace)")
+    p_sum.add_argument("--top", type=int, default=15, metavar="N",
+                       help="how many span names to rank by self time "
+                            "(default 15)")
     return parser
 
 
@@ -285,6 +350,40 @@ def _cmd_report(args):
     return 0
 
 
+def _run_traced(handler, args, argv):
+    """Run one subcommand under a span tracer; write the span log and
+    its run manifest on success (tracing changes no output bit)."""
+    from repro.obs import (
+        Tracer,
+        build_manifest,
+        install,
+        manifest_path,
+        uninstall,
+        write_manifest,
+        write_trace,
+    )
+
+    fmt = args.trace_format
+    tracer = install(Tracer())
+    try:
+        with tracer.span(f"cli.{args.command}"):
+            status = handler(args)
+    finally:
+        uninstall()
+    count = write_trace(tracer.spans(), args.trace, fmt)
+    manifest = build_manifest(
+        command=args.command,
+        argv=list(sys.argv[1:] if argv is None else argv),
+        config=dict(vars(args)),
+        trace_file=args.trace,
+        trace_format=fmt,
+    )
+    write_manifest(manifest_path(args.trace), manifest)
+    print(f"wrote {count} spans to {args.trace} ({fmt}); manifest at "
+          f"{manifest_path(args.trace)}", file=sys.stderr)
+    return status
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     handlers = {
@@ -296,8 +395,12 @@ def main(argv=None):
         "report": _cmd_report,
         "lint": _cmd_lint,
         "qa": _cmd_qa,
+        "obs": _cmd_obs,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if getattr(args, "trace", None):
+        return _run_traced(handler, args, argv)
+    return handler(args)
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ from repro.core.focus import EventFocus, apply_focus
 from repro.core.matrix import CounterMatrix
 from repro.core.normalization import normalize_matrices_jointly
 from repro.core.report import SuiteComparison, SuiteScorecard
+from repro.obs.trace import span
 from repro.qa import contracts
 
 
@@ -134,9 +135,10 @@ class Perspector:
         -------
         SuiteScorecard
         """
-        matrix = apply_focus(self.measure(suite_or_matrix), focus)
-        return self._score_matrix(matrix, EventFocus.parse(focus),
-                                  normalize=True)
+        with span("perspector.score", focus=EventFocus.parse(focus).value):
+            matrix = apply_focus(self.measure(suite_or_matrix), focus)
+            return self._score_matrix(matrix, EventFocus.parse(focus),
+                                      normalize=True)
 
     def compare(self, *suites_or_matrices, focus=EventFocus.ALL):
         """Score several suites under joint normalization (Fig. 3).
@@ -148,30 +150,33 @@ class Perspector:
         if len(suites_or_matrices) < 2:
             raise ValueError("compare needs at least two suites")
         focus = EventFocus.parse(focus)
-        matrices = [
-            apply_focus(self.measure(s), focus) for s in suites_or_matrices
-        ]
-        events = matrices[0].events
-        for m in matrices[1:]:
-            if m.events != events:
-                raise ValueError(
-                    "compared suites must share the same event set: "
-                    f"{events} vs {m.events}"
+        with span("perspector.compare", suites=len(suites_or_matrices),
+                  focus=focus.value):
+            matrices = [
+                apply_focus(self.measure(s), focus)
+                for s in suites_or_matrices
+            ]
+            events = matrices[0].events
+            for m in matrices[1:]:
+                if m.events != events:
+                    raise ValueError(
+                        "compared suites must share the same event set: "
+                        f"{events} vs {m.events}"
+                    )
+            normalized = normalize_matrices_jointly(*matrices)
+            if self.config.workers > 1 and not contracts.sanitizer_active():
+                # Fan per-suite scoring across the engine's worker pool;
+                # results come back in input order so the comparison is
+                # bit-identical to the serial path.
+                scorecards = tuple(self.engine.score_matrices(
+                    normalized, self.config, focus.value, normalize=False,
+                ))
+            else:
+                scorecards = tuple(
+                    self._score_matrix(m, focus, normalize=False)
+                    for m in normalized
                 )
-        normalized = normalize_matrices_jointly(*matrices)
-        if self.config.workers > 1 and not contracts.sanitizer_active():
-            # Fan per-suite scoring across the engine's worker pool;
-            # results come back in input order so the comparison is
-            # bit-identical to the serial path.
-            scorecards = tuple(self.engine.score_matrices(
-                normalized, self.config, focus.value, normalize=False,
-            ))
-        else:
-            scorecards = tuple(
-                self._score_matrix(m, focus, normalize=False)
-                for m in normalized
-            )
-        return SuiteComparison(scorecards=scorecards, focus=focus.value)
+            return SuiteComparison(scorecards=scorecards, focus=focus.value)
 
     def _score_matrix(self, matrix, focus, normalize):
         if contracts.sanitizer_active():

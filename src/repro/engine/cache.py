@@ -31,6 +31,12 @@ import numpy as np
 #: Sentinel distinguishing "missing" from a cached ``None``.
 MISS = object()
 
+#: Lookup-tier vocabulary (:meth:`KernelCache.lookup_tier` returns and
+#: the ``cache.lookup`` span ``tier`` attribute carries these).
+TIER_MEMORY = "memory"
+TIER_DISK = "disk"
+TIER_MISS = "miss"
+
 
 def _feed(h, part):
     """Feed one key part into a hash, with type tags so e.g. the string
@@ -156,17 +162,29 @@ class KernelCache:
         content-addressed keys, so entries survive across processes and
         CLI invocations. The tier only stores numeric payloads; other
         values silently stay memory-only.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` to count
+        into (the owning engine shares one registry across all its
+        layers); a private registry is created when omitted. The
+        ``cache_hits``/``cache_misses`` counters there are the *only*
+        copies -- :meth:`stats` is a view over them.
     """
 
-    def __init__(self, enabled=True, max_entries=None, disk=None):
+    def __init__(self, enabled=True, max_entries=None, disk=None,
+                 metrics=None):
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
         self.enabled = bool(enabled)
         self.max_entries = max_entries
         self.disk = disk if self.enabled else None
+        self.metrics = metrics
         self._store = OrderedDict()
-        self._hits = 0
-        self._misses = 0
+        self._hits = metrics.counter("cache_hits")
+        self._misses = metrics.counter("cache_misses")
 
     # -- lookup ------------------------------------------------------------
 
@@ -175,19 +193,25 @@ class KernelCache:
         outcome. ``disk=False`` skips the disk tier (used for
         fine-grained entries -- per-pair DTW floats -- where one file
         per value would drown the tier in inodes)."""
+        return self.lookup_tier(key, disk=disk)[0]
+
+    def lookup_tier(self, key, disk=True):
+        """Like :meth:`lookup`, but also names the serving tier:
+        ``(value, "memory" | "disk" | "miss")`` -- the engine attaches
+        the tier to its ``cache.lookup`` spans."""
         if not self.enabled:
-            self._misses += 1
-            return MISS
+            self._misses.inc()
+            return MISS, TIER_MISS
         if key in self._store:
-            self._hits += 1
+            self._hits.inc()
             self._store.move_to_end(key)
-            return self._store[key]
-        self._misses += 1
+            return self._store[key], TIER_MEMORY
+        self._misses.inc()
         if disk and self.disk is not None:
             value = self.disk.get(key)
             if value is not MISS:
-                return self._remember(key, value)
-        return MISS
+                return self._remember(key, value), TIER_DISK
+        return MISS, TIER_MISS
 
     def peek(self, key):
         """Like :meth:`lookup` but without touching the counters (for
@@ -225,14 +249,15 @@ class KernelCache:
     # -- bookkeeping -------------------------------------------------------
 
     def stats(self):
-        """Current :class:`CacheStats` snapshot."""
-        return CacheStats(hits=self._hits, misses=self._misses,
+        """Current :class:`CacheStats` snapshot (a view over the
+        registry's ``cache_hits``/``cache_misses`` counters)."""
+        return CacheStats(hits=self._hits.value, misses=self._misses.value,
                           entries=len(self._store))
 
     def reset_counters(self):
         """Zero the hit/miss counters (entries stay)."""
-        self._hits = 0
-        self._misses = 0
+        self._hits.reset()
+        self._misses.reset()
 
     def clear(self):
         """Drop every entry and zero the counters."""

@@ -154,19 +154,49 @@ class DiskCache:
         key hex digits.
     max_bytes:
         Size cap; LRU-evicted on overflow.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` to count
+        into (the owning engine shares one registry across its layers);
+        a private registry is created when omitted. The ``disk_*``
+        counters there are the only copies -- the legacy ``hits`` /
+        ``misses`` / ``writes`` / ``evictions`` attributes are
+        read-only views over them.
     """
 
-    def __init__(self, root, max_bytes=DEFAULT_MAX_BYTES):
+    def __init__(self, root, max_bytes=DEFAULT_MAX_BYTES, metrics=None):
         if max_bytes is not None and max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
         self.root = os.path.abspath(os.fspath(root))
         self.max_bytes = max_bytes
+        self.metrics = metrics
         self._dir = os.path.join(self.root, f"v{FORMAT_VERSION}")
         self._bytes = None  # lazily summed, then tracked incrementally
-        self.hits = 0
-        self.misses = 0
-        self.writes = 0
-        self.evictions = 0
+        self._hits = metrics.counter("disk_hits")
+        self._misses = metrics.counter("disk_misses")
+        self._writes = metrics.counter("disk_writes")
+        self._evictions = metrics.counter("disk_evictions")
+
+    # Legacy counter attributes, now views over the shared registry.
+
+    @property
+    def hits(self):
+        return self._hits.value
+
+    @property
+    def misses(self):
+        return self._misses.value
+
+    @property
+    def writes(self):
+        return self._writes.value
+
+    @property
+    def evictions(self):
+        return self._evictions.value
 
     # -- paths -------------------------------------------------------------
 
@@ -196,16 +226,16 @@ class DiskCache:
                 ]
             value = decode(header["meta"], arrays)
         except FileNotFoundError:
-            self.misses += 1
+            self._misses.inc()
             return MISS
         # A cache entry is untrusted input: any decode failure -- bad
         # JSON, bad magic, short read, npy format error -- must read as
         # a miss, not crash the scoring run.
         except Exception:  # qa-ignore[overbroad-except]
-            self.misses += 1
+            self._misses.inc()
             self._remove(path)
             return MISS
-        self.hits += 1
+        self._hits.inc()
         try:
             os.utime(path)  # LRU touch
         except OSError:
@@ -249,7 +279,7 @@ class DiskCache:
         except BaseException:
             self._remove(tmp)
             raise
-        self.writes += 1
+        self._writes.inc()
         if self._bytes is not None:
             self._bytes += size
         self._evict_if_needed()
@@ -261,7 +291,9 @@ class DiskCache:
         """``(mtime, size, path)`` for every committed entry; sweeps
         expired ``*.tmp`` orphans on the way."""
         out = []
-        now = time.time()
+        # Wall-clock staleness cutoff, not a timing measurement: tmp
+        # orphans are judged against file mtimes, which share this clock.
+        now = time.time()  # qa-ignore[obs-discipline]
         for dirpath, _dirnames, filenames in os.walk(self._dir):
             for filename in filenames:
                 path = os.path.join(dirpath, filename)
@@ -287,7 +319,7 @@ class DiskCache:
             for _mtime, size, path in sorted(entries):
                 self._remove(path)
                 self._bytes -= size
-                self.evictions += 1
+                self._evictions.inc()
                 if self._bytes <= self.max_bytes:
                     break
 

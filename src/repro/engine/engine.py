@@ -47,6 +47,8 @@ from repro.engine.cache import (
     content_key,
 )
 from repro.engine.parallel import ParallelExecutor
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span
 from repro.stats.distance import pairwise_distances
 from repro.stats.dtw import (
     batched_pair_distances,
@@ -152,6 +154,10 @@ class Engine:
     def __init__(self, cache=True, workers=1, max_entries=None,
                  cache_dir=None, disk_max_bytes=None, shm_min_bytes=None,
                  persistent_pool=True):
+        #: One registry for every counter across the engine's layers --
+        #: kernel cache, disk tier, shm transport, worker pool.
+        #: ``details['engine']`` is a ``snapshot().delta()`` view over it.
+        self.metrics = MetricsRegistry()
         disk = None
         if cache and cache_dir is not None:
             from repro.engine.diskcache import DEFAULT_MAX_BYTES, DiskCache
@@ -160,11 +166,13 @@ class Engine:
                 cache_dir,
                 max_bytes=(DEFAULT_MAX_BYTES if disk_max_bytes is None
                            else disk_max_bytes),
+                metrics=self.metrics,
             )
         self.cache = KernelCache(enabled=cache, max_entries=max_entries,
-                                 disk=disk)
+                                 disk=disk, metrics=self.metrics)
         executor_kwargs = {"workers": workers,
-                           "persistent": persistent_pool}
+                           "persistent": persistent_pool,
+                           "metrics": self.metrics}
         if shm_min_bytes is not None:
             executor_kwargs["shm_min_bytes"] = shm_min_bytes
         self.executor = ParallelExecutor(**executor_kwargs)
@@ -219,30 +227,30 @@ class Engine:
         self.cache.clear()
         self._pair_digests.clear()
 
-    def _counters(self):
-        """One flat snapshot of every counter that lands in
-        ``details['engine']`` as a per-pass delta."""
-        stats = self.cache.stats()
-        out = {"cache_hits": stats.hits, "cache_misses": stats.misses}
-        disk = self.cache.disk
-        if disk is not None:
-            out.update(disk.snapshot())
-        store = self.executor._store
-        if store is not None:
-            out["shm_published"] = store.published
-            out["shm_bytes_published"] = store.published_bytes
-        return out
-
     def _engine_details(self, before):
         """The ``SuiteScorecard.details['engine']`` payload for one
-        scoring pass that started at counter snapshot ``before``."""
-        now = self._counters()
-        details = {key: now[key] - before.get(key, 0) for key in now}
+        scoring pass that started at registry snapshot ``before``
+        (:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`): every
+        counter's movement since ``before``, plus the non-counter
+        engine facts."""
+        details = self.metrics.snapshot().delta(before)
         details["cache_entries"] = len(self.cache)
         details["cache_enabled"] = self.cache.enabled
         details["cache_dir"] = self.cache_dir
         details["workers"] = self.workers
         return details
+
+    # -- traced cache access -----------------------------------------------
+
+    def _cached(self, kind, key, disk=True):
+        """A :meth:`~repro.engine.cache.KernelCache.lookup` under a
+        ``cache.lookup`` span carrying the kernel ``kind`` and serving
+        ``tier``. Coarse kernel lookups only -- per-pair DTW probes are
+        far too hot for a span each and stay metrics-only."""
+        with span("cache.lookup", kind=kind) as sp:
+            value, tier = self.cache.lookup_tier(key, disk=disk)
+            sp.set(tier=tier)
+        return value
 
     # -- DTW (matrix + pair granularity) -----------------------------------
 
@@ -256,7 +264,7 @@ class Engine:
         """
         arrays = validate_series_list(series)
         mkey = content_key("dtw-matrix", tuple(arrays), band)
-        cached = self.cache.lookup(mkey)
+        cached = self._cached("dtw-matrix", mkey)
         if cached is not MISS:
             return cached
         n = len(arrays)
@@ -359,7 +367,7 @@ class Engine:
                 continue
             if normalize:
                 nkey = content_key("norm-set", tuple(arrays), n_points, cdf)
-                norm = self.cache.lookup(nkey)
+                norm = self._cached("norm-set", nkey)
             else:
                 nkey, norm = None, validate_series_list(arrays)
             if norm is MISS:
@@ -425,7 +433,7 @@ class Engine:
         content key makes those repeats free."""
         x = np.asarray(x, dtype=float)
         key = content_key("pairwise-distances", x)
-        cached = self.cache.lookup(key)
+        cached = self._cached("pairwise-distances", key)
         if cached is not MISS:
             return cached
         return self.cache.put(key, pairwise_distances(x))
@@ -441,7 +449,7 @@ class Engine:
         pending = []
         for k in ks:
             key = content_key("kmeans-labels", x, k, kseeds[k], n_restarts)
-            labels = self.cache.lookup(key)
+            labels = self._cached("kmeans-labels", key)
             if labels is MISS:
                 pending.append((k, key))
             else:
@@ -467,18 +475,20 @@ class Engine:
                       per_cluster_average=True):
         """Cached :func:`repro.core.cluster_score.cluster_score` with the
         per-k K-means fits memoized and fanned out individually."""
-        key = content_key(
-            "cluster-score", self._values_of(matrix), seed, n_restarts,
-            normalize, per_cluster_average,
-        )
-        cached = self.cache.lookup(key)
-        if cached is not MISS:
-            return cached
-        result = core_cluster_score(
-            matrix, seed=seed, n_restarts=n_restarts, normalize=normalize,
-            per_cluster_average=per_cluster_average, kernels=self,
-        )
-        return self.cache.put(key, result)
+        with span("kernel.cluster"):
+            key = content_key(
+                "cluster-score", self._values_of(matrix), seed, n_restarts,
+                normalize, per_cluster_average,
+            )
+            cached = self._cached("cluster-score", key)
+            if cached is not MISS:
+                return cached
+            result = core_cluster_score(
+                matrix, seed=seed, n_restarts=n_restarts,
+                normalize=normalize,
+                per_cluster_average=per_cluster_average, kernels=self,
+            )
+            return self.cache.put(key, result)
 
     def trend_score(self, matrix_or_series, events=None, n_points=100,
                     band=None, normalize=True, cdf="quantized"):
@@ -493,33 +503,36 @@ class Engine:
             str(event): [np.asarray(s, dtype=float) for s in series_list]
             for event, series_list in series_by_event.items()
         }
-        key = content_key(
-            "trend-score", hashable,
-            None if events is None else tuple(str(e) for e in events),
-            n_points, band, normalize, cdf,
-        )
-        cached = self.cache.lookup(key)
-        if cached is not MISS:
-            return cached
-        result = core_trend_score(
-            matrix_or_series, events=events, n_points=n_points, band=band,
-            normalize=normalize, cdf=cdf, kernels=self,
-        )
-        return self.cache.put(key, result)
+        with span("kernel.trend", events=len(hashable)):
+            key = content_key(
+                "trend-score", hashable,
+                None if events is None else tuple(str(e) for e in events),
+                n_points, band, normalize, cdf,
+            )
+            cached = self._cached("trend-score", key)
+            if cached is not MISS:
+                return cached
+            result = core_trend_score(
+                matrix_or_series, events=events, n_points=n_points,
+                band=band, normalize=normalize, cdf=cdf, kernels=self,
+            )
+            return self.cache.put(key, result)
 
     def coverage_score(self, matrix, variance=DEFAULT_VARIANCE,
                        normalize=True):
         """Cached :func:`repro.core.coverage_score.coverage_score`; the
         value *is* the memoized PCA decomposition."""
-        key = content_key(
-            "coverage-score", self._values_of(matrix), variance, normalize,
-        )
-        cached = self.cache.lookup(key)
-        if cached is not MISS:
-            return cached
-        result = core_coverage_score(matrix, variance=variance,
-                                     normalize=normalize)
-        return self.cache.put(key, result)
+        with span("kernel.coverage"):
+            key = content_key(
+                "coverage-score", self._values_of(matrix), variance,
+                normalize,
+            )
+            cached = self._cached("coverage-score", key)
+            if cached is not MISS:
+                return cached
+            result = core_coverage_score(matrix, variance=variance,
+                                         normalize=normalize)
+            return self.cache.put(key, result)
 
     def spread_score(self, matrix, normalize=True, axis="workloads",
                      sampled=False, rng=0):
@@ -530,16 +543,17 @@ class Engine:
             names = (tuple(matrix.workloads), tuple(matrix.events))
         else:
             names = None
-        key = content_key(
-            "spread-score", self._values_of(matrix), names, normalize,
-            axis, sampled, rng,
-        )
-        cached = self.cache.lookup(key)
-        if cached is not MISS:
-            return cached
-        result = core_spread_score(matrix, normalize=normalize, axis=axis,
-                                   sampled=sampled, rng=rng)
-        return self.cache.put(key, result)
+        with span("kernel.spread"):
+            key = content_key(
+                "spread-score", self._values_of(matrix), names, normalize,
+                axis, sampled, rng,
+            )
+            cached = self._cached("spread-score", key)
+            if cached is not MISS:
+                return cached
+            result = core_spread_score(matrix, normalize=normalize,
+                                       axis=axis, sampled=sampled, rng=rng)
+            return self.cache.put(key, result)
 
     # -- suite-level scoring -----------------------------------------------
 
@@ -548,7 +562,13 @@ class Engine:
         through the cached kernels. Mirrors the Perspector scoring
         contract; ``details['engine']`` carries this pass's cache
         hit/miss counters."""
-        before = self._counters()
+        with span("engine.score_matrix",
+                  suite=str(matrix.suite_name or "<unnamed>")):
+            return self._score_matrix(matrix, config, focus_value,
+                                      normalize=normalize)
+
+    def _score_matrix(self, matrix, config, focus_value, normalize=True):
+        before = self.metrics.snapshot()
         if matrix.n_workloads >= 4:
             cluster = self.cluster_score(
                 matrix, seed=config.seed, n_restarts=config.kmeans_restarts,

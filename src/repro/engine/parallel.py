@@ -51,6 +51,8 @@ import multiprocessing
 import weakref
 
 from repro.engine import shm
+from repro.obs import trace as obs_trace
+from repro.obs.trace import ShippedSpans, span
 
 #: Pinned start method -- see the module docstring for why not ``fork``.
 START_METHOD = "spawn"
@@ -58,9 +60,25 @@ START_METHOD = "spawn"
 
 def _invoke(payload):
     """Top-level trampoline so (fn, args) pairs survive pickling; shm
-    handles are resolved to read-only arrays before the call."""
-    fn, args = payload
-    return fn(*shm.restore(args))
+    handles are resolved to read-only arrays before the call.
+
+    When the owner is tracing (``traced``), the worker runs the task
+    under its own fresh tracer, wraps it in a ``worker.task`` span, and
+    ships the buffered spans back piggybacked on the result
+    (:class:`~repro.obs.trace.ShippedSpans`); the owner unwraps and
+    re-parents them under the dispatching ``parallel.map`` span."""
+    fn, args, traced = payload
+    if not traced:
+        return fn(*shm.restore(args))
+    tracer = obs_trace.Tracer()
+    previous = obs_trace.swap(tracer)
+    try:
+        with tracer.span("worker.task",
+                         fn=getattr(fn, "__name__", str(fn))):
+            result = fn(*shm.restore(args))
+    finally:
+        obs_trace.swap(previous)
+    return ShippedSpans(result=result, spans=tracer.drain())
 
 
 def _shutdown_pool(pool):
@@ -85,18 +103,31 @@ class ParallelExecutor:
     shm_min_bytes:
         Minimum ndarray operand size routed through shared memory
         instead of the pickle pipe (``0`` publishes everything).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` for the
+        pool-lifecycle counters (``pool_created`` / ``pool_reused`` /
+        ``pool_broken``) and, through the operand store, the ``shm_*``
+        counters; a private registry is created when omitted.
     """
 
     def __init__(self, workers=1, persistent=True,
-                 shm_min_bytes=shm.DEFAULT_MIN_BYTES):
+                 shm_min_bytes=shm.DEFAULT_MIN_BYTES, metrics=None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
         self.workers = workers
         self.persistent = persistent
         self.shm_min_bytes = shm_min_bytes
+        self.metrics = metrics
         self._pool = None
         self._pool_finalizer = None
         self._store = None
+        self._pool_created = metrics.counter("pool_created")
+        self._pool_reused = metrics.counter("pool_reused")
+        self._pool_broken = metrics.counter("pool_broken")
 
     # -- pool lifecycle ----------------------------------------------------
 
@@ -116,6 +147,9 @@ class ParallelExecutor:
             self._pool_finalizer = weakref.finalize(
                 self, _shutdown_pool, pool,
             )
+            self._pool_created.inc()
+        else:
+            self._pool_reused.inc()
         return self._pool
 
     def _dispose_pool(self):
@@ -145,7 +179,7 @@ class ParallelExecutor:
     def store(self):
         """The lazily-created shared-memory operand store."""
         if self._store is None:
-            self._store = shm.ShmStore()
+            self._store = shm.ShmStore(metrics=self.metrics)
         return self._store
 
     def _chunksize(self, n_tasks):
@@ -166,34 +200,61 @@ class ParallelExecutor:
         which is disposed so the next call starts a fresh one.
         """
         arg_tuples = list(arg_tuples)
+        fn_name = getattr(fn, "__name__", str(fn))
         if self.workers == 1 or len(arg_tuples) < 2:
-            return [fn(*args) for args in arg_tuples]
+            with span("parallel.map", fn=fn_name,
+                      tasks=len(arg_tuples), inline=True):
+                return [fn(*args) for args in arg_tuples]
         from concurrent.futures.process import BrokenProcessPool
 
         store = self.store
-        try:
-            payloads = [
-                (fn, shm.substitute(args, store, self.shm_min_bytes))
-                for args in arg_tuples
-            ]
-            chunksize = self._chunksize(len(payloads))
-            if self.persistent:
-                pool = self._ensure_pool()
-                try:
-                    return list(pool.map(_invoke, payloads,
-                                         chunksize=chunksize))
-                except BrokenProcessPool:
-                    self._dispose_pool()
-                    raise
-            from concurrent.futures import ProcessPoolExecutor
+        traced = obs_trace.enabled()
+        with span("parallel.map", fn=fn_name, tasks=len(arg_tuples),
+                  workers=self.workers) as map_span:
+            try:
+                payloads = [
+                    (fn, shm.substitute(args, store, self.shm_min_bytes),
+                     traced)
+                    for args in arg_tuples
+                ]
+                chunksize = self._chunksize(len(payloads))
+                if self.persistent:
+                    pool = self._ensure_pool()
+                    try:
+                        results = list(pool.map(_invoke, payloads,
+                                                chunksize=chunksize))
+                    except BrokenProcessPool:
+                        self._pool_broken.inc()
+                        self._dispose_pool()
+                        raise
+                else:
+                    from concurrent.futures import ProcessPoolExecutor
 
-            with ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=multiprocessing.get_context(START_METHOD),
-            ) as pool:
-                return list(pool.map(_invoke, payloads,
-                                     chunksize=chunksize))
-        finally:
-            # End of generation: segments published for this call are
-            # unlinked even on exceptions or KeyboardInterrupt.
-            store.sweep()
+                    with ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        mp_context=multiprocessing.get_context(START_METHOD),
+                    ) as pool:
+                        self._pool_created.inc()
+                        results = list(pool.map(_invoke, payloads,
+                                                chunksize=chunksize))
+                return self._unship(results, map_span.sid)
+            finally:
+                # End of generation: segments published for this call
+                # are unlinked even on exceptions or KeyboardInterrupt.
+                store.sweep()
+
+    @staticmethod
+    def _unship(results, parent_sid):
+        """Unwrap :class:`~repro.obs.trace.ShippedSpans` payloads,
+        adopting the worker spans into the owner's tracer re-parented
+        under the dispatching map-call span."""
+        tracer = obs_trace.current_tracer()
+        out = []
+        for result in results:
+            if isinstance(result, ShippedSpans):
+                if tracer is not None:
+                    tracer.adopt(result.spans, parent_sid=parent_sid)
+                out.append(result.result)
+            else:
+                out.append(result)
+        return out

@@ -45,6 +45,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.engine.cache import array_digest
+from repro.obs.trace import span
 
 #: Name prefix of every segment this module creates. The ``repro qa``
 #: leak check greps ``/dev/shm`` for it.
@@ -90,14 +91,25 @@ class ShmStore:
     ``publish`` dedupes by content digest, so an operand repeated across
     the tasks of one fan-out is written exactly once; ``sweep`` unlinks
     everything published so far (the end of a generation).
+
+    Publish/byte/sweep counts live in an
+    :class:`~repro.obs.metrics.MetricsRegistry` (shared with the owning
+    engine when one is passed); the legacy ``published`` /
+    ``published_bytes`` attributes are read-only views over it.
     """
 
-    def __init__(self, prefix=SEGMENT_PREFIX):
+    def __init__(self, prefix=SEGMENT_PREFIX, metrics=None):
+        if metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
         self._prefix = prefix
         self._segments = {}  # digest -> (SharedMemory, ShmRef)
         self._counter = 0
-        self.published = 0
-        self.published_bytes = 0
+        self.metrics = metrics
+        self._published = metrics.counter("shm_published")
+        self._published_bytes = metrics.counter("shm_bytes_published")
+        self._sweeps = metrics.counter("shm_sweeps")
         # The registry dict (not `self`) goes to the finalizer: cleanup
         # must not keep the store alive, and must still run at
         # interpreter exit if the store does survive that long.
@@ -107,6 +119,14 @@ class ShmStore:
 
     def __len__(self):
         return len(self._segments)
+
+    @property
+    def published(self):
+        return self._published.value
+
+    @property
+    def published_bytes(self):
+        return self._published_bytes.value
 
     def publish(self, array):
         """Publish one array; returns its :class:`ShmRef` (deduped by
@@ -118,25 +138,29 @@ class ShmStore:
             return hit[1]
         name = f"{self._prefix}-{os.getpid()}-{self._counter}-{digest[:12]}"
         self._counter += 1
-        segment = shared_memory.SharedMemory(
-            name=name, create=True, size=max(1, a.nbytes),
-        )
-        try:
-            view = np.ndarray(a.shape, dtype=a.dtype, buffer=segment.buf)
-            view[...] = a
-            del view
-        except BaseException:
-            segment.close()
-            segment.unlink()
-            raise
+        with span("shm.publish", bytes=int(a.nbytes)):
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, a.nbytes),
+            )
+            try:
+                view = np.ndarray(a.shape, dtype=a.dtype,
+                                  buffer=segment.buf)
+                view[...] = a
+                del view
+            except BaseException:
+                segment.close()
+                segment.unlink()
+                raise
         ref = ShmRef(name=name, dtype=str(a.dtype), shape=tuple(a.shape))
         self._segments[digest] = (segment, ref)
-        self.published += 1
-        self.published_bytes += a.nbytes
+        self._published.inc()
+        self._published_bytes.inc(a.nbytes)
         return ref
 
     def sweep(self):
         """Unlink every published segment (end of a generation)."""
+        if self._segments:
+            self._sweeps.inc()
         _unlink_segments(self._segments)
 
     def close(self):
@@ -207,7 +231,8 @@ def _attach(name):
     if segment is not None:
         _ATTACHED.move_to_end(name)
         return segment
-    segment = shared_memory.SharedMemory(name=name)
+    with span("shm.attach"):
+        segment = shared_memory.SharedMemory(name=name)
     # Python < 3.13 registers even a plain *attach* with the resource
     # tracker. That is benign here -- spawn workers inherit the owner's
     # tracker process, whose registry is a set, so the attach is a

@@ -67,6 +67,7 @@ from repro.core.subset import (
 )
 from repro.engine.cache import content_key
 from repro.engine.engine import Engine
+from repro.obs.trace import span
 from repro.stats.kstest import ks_statistic_uniform
 from repro.stats.preprocessing import minmax_normalize
 
@@ -157,32 +158,34 @@ class SubsetEvaluator:
         self._memo = {}
         self._index = {w: i for i, w in enumerate(matrix.workloads)}
 
-        if full_scores is None:
-            full_scores = _scores(matrix, seed=seed, engine=self.engine)
-        self.full_scores = full_scores
+        with span("subset.precompute", suite=str(matrix.suite_name or ""),
+                  workloads=matrix.n_workloads):
+            if full_scores is None:
+                full_scores = _scores(matrix, seed=seed, engine=self.engine)
+            self.full_scores = full_scores
 
-        # The shared-bounds normalized matrix: identical (bitwise) to
-        # what _scores(subset, bounds_from=full) builds, row for row --
-        # min-max normalization is elementwise per column and the [0, 1]
-        # clip is the identity on already-in-bounds rows.
-        values = matrix.values
-        lo = values.min(axis=0)
-        hi = values.max(axis=0)
-        base = minmax_normalize(values, bounds=(lo, hi))
-        self._base = np.clip(base, 0.0, 1.0)
+            # The shared-bounds normalized matrix: identical (bitwise) to
+            # what _scores(subset, bounds_from=full) builds, row for row
+            # -- min-max normalization is elementwise per column and the
+            # [0, 1] clip is the identity on already-in-bounds rows.
+            values = matrix.values
+            lo = values.min(axis=0)
+            hi = values.max(axis=0)
+            base = minmax_normalize(values, bounds=(lo, hi))
+            self._base = np.clip(base, 0.0, 1.0)
 
-        # Eq. 14 is row-local: one KS D-value per workload row, reusable
-        # by every subset containing that row.
-        self._row_spread = tuple(
-            float(ks_statistic_uniform(self._base[i]))
-            for i in range(matrix.n_workloads)
-        )
+            # Eq. 14 is row-local: one KS D-value per workload row,
+            # reusable by every subset containing that row.
+            self._row_spread = tuple(
+                float(ks_statistic_uniform(self._base[i]))
+                for i in range(matrix.n_workloads)
+            )
 
-        self._events = list(matrix.series)
-        self._trend = {
-            event: self._trend_kernel(matrix.series[event])
-            for event in self._events
-        }
+            self._events = list(matrix.series)
+            self._trend = {
+                event: self._trend_kernel(matrix.series[event])
+                for event in self._events
+            }
 
     # -- precompute --------------------------------------------------------
 
@@ -287,49 +290,53 @@ class SubsetEvaluator:
         if key in self._memo:
             return self._memo[key]
 
-        idx = list(key)
-        k = len(idx)
-        x = self._base[idx]
-        subset_scores = {}
-        if k >= 4:
-            subset_scores["cluster"] = self.engine.cluster_score(
-                x, seed=self.seed, normalize=False,
+        with span("subset.evaluate", size=len(key)) as sp:
+            idx = list(key)
+            k = len(idx)
+            x = self._base[idx]
+            subset_scores = {}
+            if k >= 4:
+                subset_scores["cluster"] = self.engine.cluster_score(
+                    x, seed=self.seed, normalize=False,
+                ).value
+            else:
+                subset_scores["cluster"] = float("nan")
+            subset_scores["coverage"] = self.engine.coverage_score(
+                x, normalize=False,
             ).value
-        else:
-            subset_scores["cluster"] = float("nan")
-        subset_scores["coverage"] = self.engine.coverage_score(
-            x, normalize=False,
-        ).value
-        subset_scores["spread"] = float(
-            np.mean([self._row_spread[i] for i in idx])
-        )
-
-        details = {}
-        if self._events:
-            per_event = {}
-            paths = {}
-            for event in self._events:
-                kernel = self._trend[event]
-                if self._slice_exact(kernel, idx):
-                    sub = kernel.dmatrix[np.ix_(idx, idx)]
-                    per_event[event] = float(sub.sum() / (k * (k - 1)))
-                    paths[event] = "sliced"
-                else:
-                    per_event[event] = self._fallback_event(event, idx)
-                    paths[event] = "fallback"
-            # Eq. 8 averages in event order; the summation order is part
-            # of the bit-identity contract.
-            subset_scores["trend"] = float(
-                np.mean([per_event[e] for e in self._events])
+            subset_scores["spread"] = float(
+                np.mean([self._row_spread[i] for i in idx])
             )
-            details["trend_paths"] = paths
-        else:
-            subset_scores["trend"] = float("nan")
 
-        report = report_from_scores(names, self.full_scores, subset_scores,
-                                    details=details)
-        self._memo[key] = report
-        return report
+            details = {}
+            if self._events:
+                per_event = {}
+                paths = {}
+                for event in self._events:
+                    kernel = self._trend[event]
+                    if self._slice_exact(kernel, idx):
+                        sub = kernel.dmatrix[np.ix_(idx, idx)]
+                        per_event[event] = float(sub.sum() / (k * (k - 1)))
+                        paths[event] = "sliced"
+                    else:
+                        per_event[event] = self._fallback_event(event, idx)
+                        paths[event] = "fallback"
+                # Eq. 8 averages in event order; the summation order is
+                # part of the bit-identity contract.
+                subset_scores["trend"] = float(
+                    np.mean([per_event[e] for e in self._events])
+                )
+                details["trend_paths"] = paths
+                values = list(paths.values())
+                sp.set(sliced=values.count("sliced"),
+                       fallback=values.count("fallback"))
+            else:
+                subset_scores["trend"] = float("nan")
+
+            report = report_from_scores(names, self.full_scores,
+                                        subset_scores, details=details)
+            self._memo[key] = report
+            return report
 
     def _fallback_event(self, event, idx):
         """``TScore_z`` of one event recomputed from the subset's raw

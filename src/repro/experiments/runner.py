@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.matrix import CounterMatrix
+from repro.obs.trace import span
 from repro.perf.session import PerfSession
 from repro.workloads import load_suite
 
@@ -100,24 +101,27 @@ def measure_suites(names, config=None):
     for name in names:
         key = (name, config.measurement_key())
         if key not in _CACHE:
-            matrix = None
-            dkey = None
-            if disk is not None:
-                from repro.engine.cache import MISS, content_key
-
-                dkey = content_key("measured-suite", name,
-                                   *config.measurement_key())
-                cached = disk.get(dkey)
-                if cached is not MISS:
-                    matrix = cached
-            if matrix is None:
-                if session is None:
-                    session = config.session()
-                measurement = session.run_suite(load_suite(name))
-                matrix = CounterMatrix.from_measurement(measurement)
+            with span("experiment.measure", suite=name) as sp:
+                matrix = None
+                dkey = None
                 if disk is not None:
-                    disk.put(dkey, matrix)
-            _CACHE[key] = matrix
+                    from repro.engine.cache import MISS, content_key
+
+                    dkey = content_key("measured-suite", name,
+                                       *config.measurement_key())
+                    cached = disk.get(dkey)
+                    if cached is not MISS:
+                        matrix = cached
+                        sp.set(source="disk")
+                if matrix is None:
+                    if session is None:
+                        session = config.session()
+                    measurement = session.run_suite(load_suite(name))
+                    matrix = CounterMatrix.from_measurement(measurement)
+                    sp.set(source="simulated")
+                    if disk is not None:
+                        disk.put(dkey, matrix)
+                _CACHE[key] = matrix
         out[name] = _CACHE[key]
     return out
 

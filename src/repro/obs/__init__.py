@@ -1,0 +1,95 @@
+"""Observability for the scoring pipeline (DESIGN.md section 10).
+
+* :mod:`repro.obs.trace` -- nested, ``perf_counter_ns``-timestamped
+  spans with attributes; a thread-safe in-process collector; a shared
+  no-op handle that makes permanently-wired instrumentation free while
+  tracing is off; and cross-process collection (workers buffer spans
+  locally, ship them back piggybacked on task results through the
+  parallel transport, and the owner re-parents them under the
+  dispatching ``parallel.map`` span).
+* :mod:`repro.obs.metrics` -- the unified
+  :class:`~repro.obs.metrics.MetricsRegistry` (counters / gauges /
+  histograms) behind every engine-layer counter: kernel-cache hits,
+  disk-tier traffic, shm publishes, pool lifecycle events.
+  ``SuiteScorecard.details["engine"]`` is a ``snapshot()``/``delta()``
+  view over it.
+* :mod:`repro.obs.export` -- JSONL span logs and Chrome
+  ``chrome://tracing`` trace-event JSON.
+* :mod:`repro.obs.manifest` -- run manifests written next to every
+  trace: argv, resolved config + digest, git describe, versions.
+* :mod:`repro.obs.summary` -- the ``repro obs summary`` report: top
+  spans by self time, per-kernel cache-tier hit rates, pool
+  utilization.
+
+The hard invariant (enforced by ``repro qa``): tracing on vs off is
+bit-identical in every score output. Spans observe; they never perturb.
+"""
+
+from repro.obs.export import (
+    FORMAT_CHROME,
+    FORMAT_JSONL,
+    FORMATS,
+    chrome_events,
+    load_spans,
+    write_trace,
+)
+from repro.obs.manifest import (
+    build_manifest,
+    config_digest,
+    load_manifest,
+    manifest_path,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.summary import render_summary, summarize_file
+from repro.obs.trace import (
+    NOOP_SPAN,
+    ShippedSpans,
+    SpanRecord,
+    Tracer,
+    current_tracer,
+    enabled,
+    install,
+    span,
+    swap,
+    uninstall,
+    validate_spans,
+)
+
+__all__ = [
+    "FORMAT_CHROME",
+    "FORMAT_JSONL",
+    "FORMATS",
+    "NOOP_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "ShippedSpans",
+    "SpanRecord",
+    "Tracer",
+    "build_manifest",
+    "chrome_events",
+    "config_digest",
+    "current_tracer",
+    "enabled",
+    "install",
+    "load_manifest",
+    "load_spans",
+    "manifest_path",
+    "render_summary",
+    "span",
+    "summarize_file",
+    "swap",
+    "uninstall",
+    "validate_spans",
+    "write_manifest",
+    "write_trace",
+]

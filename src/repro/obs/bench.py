@@ -1,0 +1,206 @@
+"""Tracing-overhead benchmark for the observability layer.
+
+The span tracer is wired permanently into the scoring hot paths, so it
+carries two cost contracts (DESIGN.md section 10), both guarded by the
+committed ``BENCH_obs.json`` baseline:
+
+* **traced**: a full score pass with a tracer installed finishes within
+  ``max_overhead_pct`` (5%) of the same pass untraced;
+* **no-op**: with no tracer installed, the residual cost of every
+  ``span()`` call site hit during a pass (one module-global read and a
+  shared-handle context manager each) stays under ``max_noop_pct`` (1%)
+  of the untraced wall time.
+
+The two legs run interleaved, best-of-``repeats`` each, with the kernel
+cache off so every pass performs the full kernel work (a warm pass
+would be almost pure cache lookups and the ratio would be noise). The
+traced pass is also diffed bit-for-bit against the untraced one -- the
+observe-never-perturb contract, enforced here as well as in ``repro
+qa``.
+
+::
+
+    python -m repro.obs.bench            # run and print
+    python -m repro.obs.bench --write    # also refresh BENCH_obs.json
+    python -m repro.obs.bench --check    # exit 1 if over the baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.perspector import PerspectorConfig
+from repro.engine.bench import build_subject
+from repro.engine.engine import Engine
+from repro.obs import trace as obs_trace
+
+#: Smaller than the engine bench's SPEC'17 subject: one pass must stay
+#: around a second so best-of-3 x 2 legs completes quickly, while still
+#: dwarfing per-span cost by orders of magnitude.
+SUBJECT = {"n_workloads": 24, "n_events": 4, "length": 48}
+MAX_OVERHEAD_PCT = 5.0
+MAX_NOOP_PCT = 1.0
+DEFAULT_BASELINE = "BENCH_obs.json"
+NOOP_CALLS = 200_000
+
+
+def _score_pass(traced, seed=0, subject=None):
+    """One cache-off score pass; returns (seconds, scorecard, spans)."""
+    matrix = build_subject(seed=seed, **dict(SUBJECT if subject is None
+                                             else subject))
+    engine = Engine(cache=False)
+    tracer = obs_trace.install(obs_trace.Tracer()) if traced else None
+    try:
+        start = time.perf_counter()
+        card = engine.score_matrix(matrix, PerspectorConfig(), "all")
+        elapsed = time.perf_counter() - start
+    finally:
+        if traced:
+            obs_trace.uninstall()
+        engine.close()
+    return elapsed, card, (tracer.spans() if traced else [])
+
+
+def measure_noop(calls=NOOP_CALLS):
+    """Per-call cost (ns) of ``span()`` with no tracer installed."""
+    assert not obs_trace.enabled()
+    span = obs_trace.span
+    start = time.perf_counter_ns()
+    for _ in range(calls):
+        with span("noop.probe"):
+            pass
+    return (time.perf_counter_ns() - start) / calls
+
+
+def run_bench(seed=0, repeats=5, subject=None):
+    """Run both legs interleaved; return the result record.
+
+    One untimed warmup pass settles numpy/BLAS state first; each leg
+    then keeps its best of ``repeats`` interleaved runs, so a noise
+    spike hitting one leg cannot fake (or mask) overhead.
+    """
+    from repro.qa.determinism import diff_scorecards
+
+    subject = dict(SUBJECT if subject is None else subject)
+    _score_pass(False, seed=seed, subject=subject)  # warmup, untimed
+    untraced_s = traced_s = float("inf")
+    untraced_card = traced_card = None
+    span_count = 0
+    for _ in range(repeats):
+        elapsed, untraced_card, _spans = _score_pass(False, seed=seed,
+                                                     subject=subject)
+        untraced_s = min(untraced_s, elapsed)
+        elapsed, traced_card, spans = _score_pass(True, seed=seed,
+                                                  subject=subject)
+        traced_s = min(traced_s, elapsed)
+        span_count = len(spans)
+
+    overhead_pct = 100.0 * (traced_s - untraced_s) / untraced_s
+    noop_per_call_ns = measure_noop()
+    noop_total_pct = 100.0 * (noop_per_call_ns * span_count) \
+        / (untraced_s * 1e9)
+    return {
+        "subject": subject,
+        "repeats": repeats,
+        "untraced_s": round(untraced_s, 4),
+        "traced_s": round(traced_s, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "span_count": span_count,
+        "noop_per_call_ns": round(noop_per_call_ns, 1),
+        "noop_total_pct": round(noop_total_pct, 4),
+        "identical": diff_scorecards(untraced_card, traced_card) == [],
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+        "max_noop_pct": MAX_NOOP_PCT,
+    }
+
+
+def render(result):
+    subject = result["subject"]
+    lines = [
+        "tracing-overhead bench "
+        f"({subject['n_workloads']} workloads x {subject['n_events']} "
+        f"events, cache off, best of {result['repeats']}):",
+        f"  untraced: {result['untraced_s']:.3f} s",
+        f"  traced:   {result['traced_s']:.3f} s "
+        f"({result['span_count']} spans)",
+        f"  overhead: {result['overhead_pct']:+.1f}% "
+        f"(baseline allows <= {result['max_overhead_pct']:.0f}%)",
+        f"  no-op:    {result['noop_per_call_ns']:.0f} ns/call -> "
+        f"{result['noop_total_pct']:.3f}% of the untraced pass "
+        f"(allows <= {result['max_noop_pct']:.0f}%)",
+        f"  traced scorecard bit-identical to untraced: "
+        f"{result['identical']}",
+    ]
+    return "\n".join(lines)
+
+
+def check(result, baseline):
+    """Gate failures of ``result`` against a baseline record."""
+    max_overhead = float(baseline.get("max_overhead_pct",
+                                      MAX_OVERHEAD_PCT))
+    max_noop = float(baseline.get("max_noop_pct", MAX_NOOP_PCT))
+    failures = []
+    if not result["identical"]:
+        failures.append("traced scorecard is not bit-identical to "
+                        "untraced")
+    if result["overhead_pct"] > max_overhead:
+        failures.append(
+            f"tracing overhead {result['overhead_pct']:+.1f}% exceeds "
+            f"the {max_overhead:.0f}% baseline"
+        )
+    if result["noop_total_pct"] > max_noop:
+        failures.append(
+            f"no-op span cost {result['noop_total_pct']:.3f}% exceeds "
+            f"the {max_noop:.0f}% baseline"
+        )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="Time a traced score pass against an untraced one.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--json", metavar="PATH", default=DEFAULT_BASELINE,
+                        help="baseline file for --write/--check")
+    parser.add_argument("--write", action="store_true",
+                        help="write the result as the new baseline")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless overhead is within the "
+                             "baseline bounds and outputs bit-identical")
+    args = parser.parse_args(argv)
+
+    result = run_bench(seed=args.seed, repeats=args.repeats)
+    print(render(result))
+
+    if args.write:
+        with open(args.json, "w") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.json}")
+    if args.check:
+        try:
+            with open(args.json) as f:
+                baseline = json.load(f)
+        except FileNotFoundError:
+            baseline = {}
+        failures = check(result, baseline)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAIL: {failure}")
+            return 1
+        print("check passed: tracing within "
+              f"{baseline.get('max_overhead_pct', MAX_OVERHEAD_PCT):.0f}"
+              "% traced / "
+              f"{baseline.get('max_noop_pct', MAX_NOOP_PCT):.0f}% no-op "
+              "and bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Trace exporters and loaders.
+
+Two on-disk shapes for one span list:
+
+* **JSONL** (``--trace-format jsonl``, the default): one span per line,
+  the exact :meth:`~repro.obs.trace.SpanRecord.as_dict` fields. Grep-,
+  ``jq``- and stream-friendly; ``repro obs summary`` consumes it.
+* **Chrome trace-event JSON** (``--trace-format chrome``): a
+  ``{"traceEvents": [...]}`` object of complete (``"ph": "X"``) events,
+  loadable directly in ``chrome://tracing`` / Perfetto. Timestamps are
+  microseconds (the trace-event unit); each process's spans keep their
+  own ``pid`` lane, so worker clock domains never overlap the owner's.
+
+Writes are atomic (tmp + ``os.replace``) so a crash mid-export never
+leaves a half-written trace under the requested name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.trace import SpanRecord
+
+FORMAT_JSONL = "jsonl"
+FORMAT_CHROME = "chrome"
+FORMATS = (FORMAT_JSONL, FORMAT_CHROME)
+
+
+def chrome_events(spans):
+    """The Chrome trace-event list for a span list (complete events,
+    microsecond timestamps, attrs in ``args``)."""
+    events = []
+    for span in spans:
+        events.append({
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": span.start_ns / 1000.0,
+            "dur": span.duration_ns / 1000.0,
+            "pid": span.pid,
+            "tid": span.tid,
+            "args": dict(span.attrs, sid=span.sid, parent=span.parent),
+        })
+    return events
+
+
+def _atomic_write(path, text):
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as f:
+            f.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def write_trace(spans, path, fmt=FORMAT_JSONL):
+    """Write a span list to ``path`` in the given format; returns the
+    number of spans written."""
+    spans = list(spans)
+    if fmt == FORMAT_JSONL:
+        lines = [json.dumps(s.as_dict(), sort_keys=True) for s in spans]
+        _atomic_write(path, "\n".join(lines) + ("\n" if lines else ""))
+    elif fmt == FORMAT_CHROME:
+        payload = {"traceEvents": chrome_events(spans),
+                   "displayTimeUnit": "ms"}
+        _atomic_write(path, json.dumps(payload, sort_keys=True) + "\n")
+    else:
+        raise ValueError(
+            f"unknown trace format {fmt!r}; expected one of {FORMATS}"
+        )
+    return len(spans)
+
+
+def load_spans(path):
+    """Load a JSONL trace back into :class:`SpanRecord` objects.
+
+    Raises ``ValueError`` with a pointed message when handed a Chrome-
+    format trace (that shape is for the browser, not for ``summary``).
+    """
+    spans = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: bad span record: {exc}"
+                ) from exc
+            if isinstance(record, dict) and "traceEvents" in record:
+                raise ValueError(
+                    f"{path} is a Chrome trace-event file; "
+                    f"'repro obs summary' reads the jsonl format "
+                    f"(--trace-format jsonl)"
+                )
+            try:
+                spans.append(SpanRecord.from_dict(record))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: bad span record: {exc}"
+                ) from exc
+    return spans

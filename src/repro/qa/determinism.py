@@ -11,7 +11,11 @@ scoring engine's invariance contract: disabling the kernel cache,
 fanning the work across ``--workers N`` processes of the persistent
 spawn pool (with and without shared-memory transport forced on), or
 going through a cold-then-warm on-disk cache tier, must not move a
-single bit. The CLI entry point finishes with a leak check: no
+single bit. Neither may running under an installed span tracer
+(:mod:`repro.obs`): the trace-on variant re-scores under a live tracer,
+requires bit-identical output, and validates the collected span tree
+(every span closed, nested within its same-process parent, worker spans
+re-parented under their dispatching map-call span). The CLI entry point finishes with a leak check: no
 shared-memory segments may remain in ``/dev/shm`` and no half-written
 tmp artifacts may remain in the disk-cache directory.
 
@@ -24,6 +28,7 @@ all four scores) or call :func:`check_determinism` with any suite or
 from __future__ import annotations
 
 import argparse
+import os
 import struct
 import sys
 from dataclasses import dataclass
@@ -187,6 +192,29 @@ def check_determinism(suite_or_matrix, seed=0, focus="all",
             f"[{label}] {m}" for m in diff_scorecards(cards[0], card)
         )
         cards.append(card)
+    # Tracing must observe, never perturb: a run under an installed span
+    # tracer (fanned, when workers > 1, so worker spans ship back) must
+    # be bit-identical to the baseline, and the collected span tree must
+    # be well-formed -- every span closed, children nested within their
+    # same-process parents, worker spans re-parented under their
+    # dispatching map-call span.
+    from repro.obs import trace as obs_trace
+
+    traced_kwargs = {"workers": workers} if workers > 1 else {}
+    tracer = obs_trace.install(obs_trace.Tracer())
+    try:
+        card = run_once(**traced_kwargs)
+    finally:
+        obs_trace.uninstall()
+    mismatches.extend(
+        f"[traced] {m}" for m in diff_scorecards(cards[0], card)
+    )
+    mismatches.extend(
+        f"[traced] span tree: {problem}"
+        for problem in obs_trace.validate_spans(tracer.spans(),
+                                                owner_pid=os.getpid())
+    )
+    cards.append(card)
     return DeterminismReport(
         identical=not mismatches,
         mismatches=tuple(mismatches),
@@ -314,6 +342,25 @@ def check_search_determinism(matrix, subset_size=4, n_candidates=8,
             for m in diff_search_results(results[0], result)
         )
         results.append(result)
+    # Trace-on bit-identity + span-tree well-formedness, as in
+    # check_determinism.
+    from repro.obs import trace as obs_trace
+
+    traced_kwargs = {"workers": workers} if workers > 1 else {}
+    tracer = obs_trace.install(obs_trace.Tracer())
+    try:
+        result = run_once(**traced_kwargs)
+    finally:
+        obs_trace.uninstall()
+    mismatches.extend(
+        f"[traced] {m}" for m in diff_search_results(results[0], result)
+    )
+    mismatches.extend(
+        f"[traced] span tree: {problem}"
+        for problem in obs_trace.validate_spans(tracer.spans(),
+                                                owner_pid=os.getpid())
+    )
+    results.append(result)
     return SearchDeterminismReport(
         identical=not mismatches,
         mismatches=tuple(mismatches),

@@ -10,6 +10,7 @@ from repro.qa.rules.excepts import OverbroadExcept
 from repro.qa.rules.exports import AllDrift
 from repro.qa.rules.floatcmp import FloatEquality
 from repro.qa.rules.mutation import ArgumentMutation
+from repro.qa.rules.obs import ObsDiscipline
 from repro.qa.rules.rng import RngDiscipline
 
 ALL_RULE_CLASSES = (
@@ -18,6 +19,7 @@ ALL_RULE_CLASSES = (
     FloatEquality,
     OverbroadExcept,
     AllDrift,
+    ObsDiscipline,
 )
 
 
@@ -33,6 +35,7 @@ __all__ = [
     "FloatEquality",
     "ArgumentMutation",
     "RngDiscipline",
+    "ObsDiscipline",
     "ALL_RULE_CLASSES",
     "default_rules",
 ]

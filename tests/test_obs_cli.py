@@ -1,0 +1,118 @@
+"""CLI coverage for the observability surface: ``--trace`` /
+``--trace-format`` / ``$REPRO_TRACE``, the run manifest, ``repro obs
+summary``, and the stdout/stderr routing contract (reports on stdout,
+status lines on stderr)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.runner import clear_cache
+from repro.obs.export import load_spans
+from repro.obs.manifest import load_manifest, manifest_path
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestTraceFlags:
+    def test_score_accepts_trace_flags(self):
+        args = build_parser().parse_args(
+            ["score", "nbench", "--trace", "t.jsonl",
+             "--trace-format", "chrome"])
+        assert args.trace == "t.jsonl"
+        assert args.trace_format == "chrome"
+
+    def test_trace_defaults_off(self):
+        args = build_parser().parse_args(["score", "nbench"])
+        assert args.trace is None
+        assert args.trace_format == "jsonl"
+
+    def test_repro_trace_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "env.jsonl")
+        args = build_parser().parse_args(["score", "nbench"])
+        assert args.trace == "env.jsonl"
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["score", "nbench", "--trace", "t", "--trace-format",
+                 "protobuf"])
+
+
+class TestTracedScore:
+    def test_writes_trace_and_manifest(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(["--quick", "score", "nbench", "--trace",
+                     str(trace)]) == 0
+        spans = load_spans(trace)
+        names = {s.name for s in spans}
+        assert "cli.score" in names
+        for kernel in ("kernel.cluster", "kernel.trend",
+                       "kernel.coverage", "kernel.spread"):
+            assert kernel in names
+        manifest = load_manifest(manifest_path(trace))
+        assert manifest["command"] == "score"
+        assert manifest["trace_format"] == "jsonl"
+        assert "--trace" in manifest["argv"]
+
+    def test_status_on_stderr_report_on_stdout(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        main(["--quick", "score", "nbench", "--trace", str(trace)])
+        captured = capsys.readouterr()
+        assert "cluster=" in captured.out  # the scorecard report
+        assert "wrote" not in captured.out  # status never on stdout
+        assert "wrote" in captured.err
+        assert str(trace) in captured.err
+
+    def test_chrome_format(self, tmp_path):
+        trace = tmp_path / "t.json"
+        assert main(["--quick", "score", "nbench", "--trace", str(trace),
+                     "--trace-format", "chrome"]) == 0
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+        assert all(e["ph"] == "X" for e in payload["traceEvents"])
+
+
+class TestObsSummary:
+    def test_summary_renders_tables(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        main(["--quick", "score", "nbench", "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["obs", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary:" in out
+        assert "self time" in out
+        assert "cache lookups by kernel and tier" in out
+        assert "kernel.cluster" in out
+
+    def test_summary_rejects_chrome_trace(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        main(["--quick", "score", "nbench", "--trace", str(trace),
+              "--trace-format", "chrome"])
+        capsys.readouterr()
+        with pytest.raises(ValueError, match="Chrome trace-event"):
+            main(["obs", "summary", str(trace)])
+
+    def test_summary_top_flag(self):
+        args = build_parser().parse_args(
+            ["obs", "summary", "t.jsonl", "--top", "3"])
+        assert args.trace_path == "t.jsonl"
+        assert args.top == 3
+
+
+class TestCompareRouting:
+    def test_csv_status_goes_to_stderr(self, capsys, tmp_path):
+        csv = tmp_path / "scores.csv"
+        assert main(["--quick", "compare", "nbench", "ligra", "--csv",
+                     str(csv)]) == 0
+        captured = capsys.readouterr()
+        assert csv.exists()
+        assert f"wrote {csv}" in captured.err
+        assert "wrote" not in captured.out
+        assert "focus = all" in captured.out  # the comparison table

@@ -1,0 +1,234 @@
+"""Tests for repro.obs.trace: the span tracer, the no-op fast path,
+cross-process adoption, and span-tree validation."""
+
+import os
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NOOP_SPAN,
+    ShippedSpans,
+    SpanRecord,
+    Tracer,
+    current_tracer,
+    enabled,
+    install,
+    span,
+    swap,
+    uninstall,
+    validate_spans,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_tracer():
+    """Every test starts and ends with tracing off."""
+    uninstall()
+    yield
+    uninstall()
+
+
+class TestTracer:
+    def test_nesting_and_sids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        spans = tracer.spans()
+        assert [s.name for s in spans] == ["inner", "outer"]  # finish order
+        inner, outer_rec = spans
+        assert inner.parent == outer.sid
+        assert outer_rec.parent is None
+        assert inner.sid != outer_rec.sid
+
+    def test_sequential_sids_no_rng(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert [s.sid for s in tracer.spans()] == [1, 2, 3, 4, 5]
+
+    def test_attrs_at_open_and_via_set(self):
+        tracer = Tracer()
+        with tracer.span("k", kind="dtw") as sp:
+            sp.set(tier="memory", n=3)
+        (record,) = tracer.spans()
+        assert record.attrs == {"kind": "dtw", "tier": "memory", "n": 3}
+
+    def test_spans_are_closed_with_pid_tid(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        (record,) = tracer.spans()
+        assert record.closed
+        assert record.duration_ns >= 0
+        assert record.pid == os.getpid()
+        assert record.tid == threading.get_ident()
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["a"].parent == root.sid
+        assert by_name["b"].parent == root.sid
+
+    def test_thread_local_stacks(self):
+        tracer = Tracer()
+        done = threading.Event()
+
+        def worker():
+            with tracer.span("thread-root"):
+                done.wait(5)
+
+        with tracer.span("main-root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            # The other thread's open span must not become our child's
+            # parent, nor ours its parent.
+            with tracer.span("main-child"):
+                pass
+            done.set()
+            t.join()
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["thread-root"].parent is None
+        assert by_name["main-child"].parent == by_name["main-root"].sid
+
+    def test_drain_empties(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        drained = tracer.drain()
+        assert len(drained) == 1
+        assert len(tracer) == 0
+        assert tracer.spans() == []
+
+
+class TestModuleGlobals:
+    def test_span_without_tracer_is_shared_noop(self):
+        assert not enabled()
+        handle = span("anything", x=1)
+        assert handle is NOOP_SPAN
+        with handle as sp:
+            assert sp.set(y=2) is sp
+        assert sp.sid is None
+
+    def test_install_activates_and_uninstall_returns(self):
+        tracer = install(Tracer())
+        assert enabled()
+        assert current_tracer() is tracer
+        with span("s"):
+            pass
+        assert uninstall() is tracer
+        assert not enabled()
+        assert len(tracer) == 1
+
+    def test_swap_save_restore(self):
+        owner = install(Tracer())
+        worker = Tracer()
+        previous = swap(worker)
+        assert previous is owner
+        assert current_tracer() is worker
+        swap(previous)
+        assert current_tracer() is owner
+
+
+class TestAdopt:
+    def _worker_spans(self):
+        """Spans as a worker process would record them: own sid space."""
+        worker = Tracer()
+        with worker.span("worker.task"):
+            with worker.span("kernel.trend"):
+                pass
+        spans = worker.drain()
+        for s in spans:
+            s.pid = os.getpid() + 1  # simulate another process
+        return spans
+
+    def test_roots_reparented_internal_links_remapped(self):
+        owner = Tracer()
+        with owner.span("parallel.map") as map_span:
+            pass
+        shipped = self._worker_spans()
+        adopted = owner.adopt(shipped, parent_sid=map_span.sid)
+        by_name = {s.name: s for s in adopted}
+        assert by_name["worker.task"].parent == map_span.sid
+        assert by_name["kernel.trend"].parent == by_name["worker.task"].sid
+        sids = [s.sid for s in owner.spans()]
+        assert len(sids) == len(set(sids))  # remapped into owner space
+
+    def test_adopted_tree_validates(self):
+        owner = Tracer()
+        with owner.span("parallel.map") as map_span:
+            pass
+        owner.adopt(self._worker_spans(), parent_sid=map_span.sid)
+        assert validate_spans(owner.spans(), owner_pid=os.getpid()) == []
+
+    def test_adopt_empty_is_noop(self):
+        owner = Tracer()
+        assert owner.adopt([]) == []
+
+    def test_shipped_spans_carries_result(self):
+        payload = ShippedSpans(result=42, spans=[])
+        assert payload.result == 42
+        assert payload.spans == []
+
+
+class TestValidateSpans:
+    def _span(self, sid, parent=None, name="s", start=10, end=20,
+              pid=None):
+        return SpanRecord(sid=sid, parent=parent, name=name,
+                          start_ns=start, end_ns=end,
+                          pid=os.getpid() if pid is None else pid)
+
+    def test_clean_tree_passes(self):
+        spans = [self._span(1, start=10, end=100),
+                 self._span(2, parent=1, start=20, end=90)]
+        assert validate_spans(spans, owner_pid=os.getpid()) == []
+
+    def test_duplicate_sid_flagged(self):
+        problems = validate_spans([self._span(1), self._span(1)])
+        assert any("duplicate sid" in p for p in problems)
+
+    def test_unclosed_span_flagged(self):
+        problems = validate_spans([self._span(1, start=10, end=0)])
+        assert any("not closed" in p for p in problems)
+
+    def test_missing_parent_flagged(self):
+        problems = validate_spans([self._span(2, parent=7)])
+        assert any("parent 7 missing" in p for p in problems)
+
+    def test_same_pid_child_outside_parent_flagged(self):
+        spans = [self._span(1, start=50, end=60),
+                 self._span(2, parent=1, start=10, end=20)]
+        problems = validate_spans(spans)
+        assert any("not nested" in p for p in problems)
+
+    def test_cross_pid_child_clock_domains_exempt(self):
+        spans = [self._span(1, start=50, end=60),
+                 self._span(2, parent=1, start=10, end=20,
+                            pid=os.getpid() + 1)]
+        assert validate_spans(spans) == []
+
+    def test_orphan_worker_span_flagged_with_owner_pid(self):
+        orphan = self._span(1, pid=os.getpid() + 1)
+        problems = validate_spans([orphan], owner_pid=os.getpid())
+        assert any("never re-parented" in p for p in problems)
+        assert validate_spans([orphan]) == []  # lenient without owner_pid
+
+
+class TestSpanRecordSerde:
+    def test_round_trip(self):
+        record = SpanRecord(sid=3, parent=1, name="kernel.spread",
+                            start_ns=100, end_ns=250, pid=41, tid=7,
+                            attrs={"tier": "disk"})
+        assert SpanRecord.from_dict(record.as_dict()) == record
+
+    def test_root_parent_none_survives(self):
+        record = SpanRecord(sid=1, parent=None, name="r", start_ns=1,
+                            end_ns=2)
+        assert SpanRecord.from_dict(record.as_dict()).parent is None

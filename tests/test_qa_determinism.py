@@ -41,10 +41,11 @@ class TestMatrixPath:
         assert "PASS" in str(report)
 
     def test_report_carries_all_scorecards(self):
-        # Two baseline runs plus the cache-off invariance run.
+        # Two baseline runs plus the cache-off and traced invariance
+        # runs.
         report = check_determinism(fixture_matrix(), seed=4)
         assert isinstance(report, DeterminismReport)
-        assert len(report.scorecards) == 3
+        assert len(report.scorecards) == 4
         assert report.seed == 4
         assert report.scorecards[0].suite_name == "determinism-fixture"
 
@@ -52,14 +53,14 @@ class TestMatrixPath:
         # ...plus the fanned run and the fanned+forced-shm run.
         report = check_determinism(fixture_matrix(), seed=0, workers=2)
         assert report.identical, str(report)
-        assert len(report.scorecards) == 5
+        assert len(report.scorecards) == 6
 
     def test_cache_dir_adds_disk_runs(self, tmp_path):
         report = check_determinism(fixture_matrix(), seed=0,
                                    cache_dir=str(tmp_path))
         assert report.identical, str(report)
-        # Two baselines, cache-off, disk-cold, disk-warm.
-        assert len(report.scorecards) == 5
+        # Two baselines, cache-off, disk-cold, disk-warm, traced.
+        assert len(report.scorecards) == 6
 
     def test_focus_is_threaded_through(self):
         report = check_determinism(fixture_matrix(), seed=0, focus="llc")
@@ -115,8 +116,9 @@ class TestSearchDeterminism:
         report = check_search_determinism(self._matrix(), subset_size=4,
                                           n_candidates=4, seed=0)
         assert report.identical, str(report)
-        # Two baseline runs plus the cache-off invariance run.
-        assert len(report.results) == 3
+        # Two baseline runs plus the cache-off and traced invariance
+        # runs.
+        assert len(report.results) == 4
         assert "PASS" in str(report)
 
     def test_workers_adds_invariance_runs(self):
@@ -125,15 +127,15 @@ class TestSearchDeterminism:
                                           n_candidates=4, seed=0,
                                           workers=2)
         assert report.identical, str(report)
-        assert len(report.results) == 5
+        assert len(report.results) == 6
 
     def test_cache_dir_adds_disk_runs(self, tmp_path):
         report = check_search_determinism(self._matrix(), subset_size=4,
                                           n_candidates=4, seed=0,
                                           cache_dir=str(tmp_path))
         assert report.identical, str(report)
-        # Two baselines, cache-off, disk-cold, disk-warm.
-        assert len(report.results) == 5
+        # Two baselines, cache-off, disk-cold, disk-warm, traced.
+        assert len(report.results) == 6
 
     def test_diff_detects_injected_drift(self):
         report = check_search_determinism(self._matrix(), subset_size=4,

@@ -397,6 +397,98 @@ class TestEngine:
         assert findings[0].path.endswith("dirty.py")
 
 
+# -- obs-discipline ----------------------------------------------------------
+
+
+class TestObsDiscipline:
+    def test_raw_clock_read_flagged(self):
+        findings = lint("""\
+            import time
+
+            start = time.perf_counter()
+        """)
+        assert rule_ids(findings) == ["obs-discipline"]
+        assert "time.perf_counter" in findings[0].message
+        assert "span" in findings[0].message
+
+    def test_time_time_flagged(self):
+        findings = lint("""\
+            import time
+
+            t0 = time.time()
+        """)
+        assert rule_ids(findings) == ["obs-discipline"]
+
+    def test_bare_imported_clock_flagged(self):
+        findings = lint("""\
+            from time import perf_counter_ns
+
+            t0 = perf_counter_ns()
+        """)
+        assert rule_ids(findings) == ["obs-discipline"]
+
+    def test_library_print_flagged(self):
+        findings = lint("""\
+            def render(card):
+                print(card)
+        """)
+        assert rule_ids(findings) == ["obs-discipline"]
+        assert "print" in findings[0].message
+
+    def test_span_usage_is_clean(self):
+        findings = lint("""\
+            from repro.obs.trace import span
+
+            def kernel(matrix):
+                with span("kernel.trend"):
+                    return matrix
+        """)
+        assert findings == []
+
+    def test_print_in_main_exempt(self):
+        findings = lint("""\
+            def main():
+                print("report")
+        """)
+        assert findings == []
+
+    def test_main_guard_exempt(self):
+        findings = lint("""\
+            import time
+
+            if __name__ == "__main__":
+                start = time.time()
+                print(start)
+        """)
+        assert findings == []
+
+    def test_print_with_explicit_stream_exempt(self):
+        findings = lint("""\
+            import sys
+
+            def warn(msg):
+                print(msg, file=sys.stderr)
+        """)
+        assert findings == []
+
+    def test_cli_and_bench_modules_exempt(self):
+        source = "import time\nt0 = time.perf_counter()\nprint(t0)\n"
+        assert lint(source, path="src/repro/cli.py") == []
+        assert lint(source, path="src/repro/engine/subset_bench.py") == []
+        assert lint(source, path="src/repro/obs/manifest.py") == []
+        assert lint(source, path="tests/test_thing.py") == []
+        assert rule_ids(lint(source, path="src/repro/core/thing.py")) == \
+            ["obs-discipline", "obs-discipline"]
+
+    def test_suppression(self):
+        findings = lint("""\
+            import time
+
+            now = time.time()  # qa-ignore[obs-discipline]
+        """)
+        assert findings == []
+
+
 class TestCli:
     def test_cli_lint_clean_file_exits_zero(self, tmp_path, capsys):
         from repro.cli import main
@@ -421,5 +513,5 @@ class TestCli:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("rng-discipline", "arg-mutation", "float-equality",
-                        "overbroad-except", "all-drift"):
+                        "overbroad-except", "all-drift", "obs-discipline"):
             assert rule_id in out
