@@ -1,8 +1,10 @@
 # Development targets. `make qa` is the pre-merge gate documented in
-# benchmarks/README.md: the in-tree static-analysis pass, ruff, mypy
-# (both skipped with a notice when not installed) and the bit-for-bit
-# determinism checker (which also proves the parallel scoring engine --
-# and the sliced subset search -- bit-identical at workers=2).
+# benchmarks/README.md: the in-tree static-analysis pass (per-file
+# rules plus the whole-program effect analyzer behind --deep), ruff,
+# mypy (both skipped with a notice when not installed) and the
+# bit-for-bit determinism checker (which also proves the parallel
+# scoring engine -- and the sliced subset search -- bit-identical at
+# workers=2).
 # `make bench` includes the engine's cold-vs-warm cache bench, the
 # subset evaluator's sliced-vs-naive bench, the warm-substrate
 # bench (persistent pool vs pool-per-call + disk-cold vs disk-warm
@@ -13,14 +15,17 @@
 PYTHON ?= python
 RUN = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
 
-.PHONY: qa lint ruff mypy determinism test bench bench-engine \
-	bench-subset bench-parallel bench-obs
+.PHONY: qa lint lint-deep ruff mypy determinism test bench \
+	bench-engine bench-subset bench-parallel bench-obs
 
-qa: lint ruff mypy determinism
+qa: lint lint-deep ruff mypy determinism
 	@echo "qa: all gates passed"
 
 lint:
 	$(RUN) -m repro.qa.lint src/repro
+
+lint-deep:
+	$(RUN) -m repro.qa.lint --deep src/repro
 
 ruff:
 	@if command -v ruff >/dev/null 2>&1; then \

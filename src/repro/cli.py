@@ -7,7 +7,8 @@
     perspector subset <suite> --size 8 [--search N --method lhs|random|swap]
     perspector suites
     perspector experiment fig1|fig2|fig3|fig4|fig5|fig6|subset|mux|ablations
-    perspector lint [paths ...]
+    perspector lint [--deep] [--format text|json] [paths ...]
+    perspector analyze effects <symbol> [--root DIR]
     perspector qa [--seed N]
     perspector obs summary TRACE [--top N]
 
@@ -18,11 +19,14 @@ persistent spawn worker pool), ``--no-cache`` (disable the engine's
 kernel cache) and ``--cache-dir DIR`` / ``$REPRO_CACHE_DIR`` (persist
 measured suites and kernel results on disk, so repeat invocations
 start warm); none of the three changes any output bit. ``lint`` runs
-the project's
-static-analysis pass (:mod:`repro.qa.lint`) and ``qa`` the bit-for-bit
-determinism checker (:mod:`repro.qa.determinism`). The ``repro``
-console script is an alias of this one, so ``repro lint src/repro``
-works as documented.
+the project's static-analysis pass (:mod:`repro.qa.lint`); with
+``--deep`` it adds the whole-program contract rules (cache-purity,
+pool-safety, shm-readonly -- :mod:`repro.qa.flow`) and ``--format
+json`` emits findings machine-readably for CI. ``analyze effects``
+prints a function's inferred effect set with the justifying call
+chains. ``qa`` runs the bit-for-bit determinism checker
+(:mod:`repro.qa.determinism`). The ``repro`` console script is an
+alias of this one, so ``repro lint src/repro`` works as documented.
 
 Every subcommand also accepts ``--trace FILE`` / ``--trace-format
 {jsonl,chrome}`` (default: ``$REPRO_TRACE`` if set): the run executes
@@ -138,9 +142,27 @@ def _cmd_lint(args):
     from repro.qa.lint import main as lint_main
 
     argv = list(args.paths) or ["src/repro"]
+    if args.deep:
+        argv.append("--deep")
+    if args.output_format != "text":
+        argv.extend(["--format", args.output_format])
     if args.list_rules:
         argv = ["--list-rules"]
     return lint_main(argv)
+
+
+def _cmd_analyze(args):
+    from repro.qa.flow.analyze import effects_report
+    from repro.qa.flow.indexer import default_cache_dir
+
+    try:
+        report = effects_report(args.symbol, root=args.root,
+                                cache_dir=default_cache_dir())
+    except LookupError as exc:
+        print(f"repro analyze: {exc}", file=sys.stderr)
+        return 2
+    print(report)
+    return 0
 
 
 def _cmd_qa(args):
@@ -291,7 +313,39 @@ def build_parser():
                         help="files or directories (default: src/repro)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    p_lint.add_argument(
+        "--deep", action="store_true",
+        help="also run the whole-program effect analyzer: cache-purity, "
+             "pool-safety and shm-readonly proven over the cross-module "
+             "call graph (incremental via a digest-keyed summary cache)",
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        dest="output_format",
+        help="findings as diagnostics lines (default) or a JSON array "
+             "for CI",
+    )
     _add_trace_flags(p_lint)
+
+    p_ana = sub.add_parser(
+        "analyze", help="whole-program effect analysis queries"
+    )
+    ana_sub = p_ana.add_subparsers(dest="analyze_command", required=True)
+    p_eff = ana_sub.add_parser(
+        "effects",
+        help="print a function's inferred effect set with one "
+             "justifying call chain per effect",
+    )
+    p_eff.add_argument(
+        "symbol",
+        help="fully-qualified function (repro.engine.engine.Engine."
+             "dtw_matrix) or a unique suffix (Engine.dtw_matrix)",
+    )
+    p_eff.add_argument(
+        "--root", default="src/repro", metavar="DIR",
+        help="project root to index (default: src/repro)",
+    )
+    _add_trace_flags(p_ana)
 
     p_qa = sub.add_parser(
         "qa", help="bit-for-bit determinism check of the scoring pipeline"
@@ -394,6 +448,7 @@ def main(argv=None):
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "lint": _cmd_lint,
+        "analyze": _cmd_analyze,
         "qa": _cmd_qa,
         "obs": _cmd_obs,
     }

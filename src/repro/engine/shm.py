@@ -157,6 +157,14 @@ class ShmStore:
         self._published_bytes.inc(a.nbytes)
         return ref
 
+    def attach(self, ref):
+        """Attach a :class:`ShmRef` as a read-only ndarray view (the
+        worker-side counterpart of :meth:`publish`). The view's buffer
+        is shared with every other attached worker; the static analyzer
+        (``repro lint --deep``, rule ``shm-readonly``) proves no caller
+        mutates one."""
+        return resolve(ref)
+
     def sweep(self):
         """Unlink every published segment (end of a generation)."""
         if self._segments:

@@ -101,29 +101,41 @@ def measure_suites(names, config=None):
     for name in names:
         key = (name, config.measurement_key())
         if key not in _CACHE:
-            with span("experiment.measure", suite=name) as sp:
-                matrix = None
-                dkey = None
-                if disk is not None:
-                    from repro.engine.cache import MISS, content_key
-
-                    dkey = content_key("measured-suite", name,
-                                       *config.measurement_key())
-                    cached = disk.get(dkey)
-                    if cached is not MISS:
-                        matrix = cached
-                        sp.set(source="disk")
-                if matrix is None:
-                    if session is None:
-                        session = config.session()
-                    measurement = session.run_suite(load_suite(name))
-                    matrix = CounterMatrix.from_measurement(measurement)
-                    sp.set(source="simulated")
-                    if disk is not None:
-                        disk.put(dkey, matrix)
-                _CACHE[key] = matrix
+            matrix, session = _measure_suite(name, config, disk, session)
+            _CACHE[key] = matrix
         out[name] = _CACHE[key]
     return out
+
+
+def _measure_suite(name, config, disk, session):
+    """Measure one suite, disk tier consulted first.
+
+    The whole computation between here and the ``disk.put`` is a pure
+    function of (suite name, measurement key) -- ``repro lint --deep``
+    proves that (rule ``cache-purity``); the process-level memo in
+    :func:`measure_suites` stays outside the cached boundary. Returns
+    ``(matrix, session)``: the session is created lazily on the first
+    simulated (non-disk-hit) measurement and reused by the caller.
+    """
+    with span("experiment.measure", suite=name) as sp:
+        dkey = None
+        if disk is not None:
+            from repro.engine.cache import MISS, content_key
+
+            dkey = content_key("measured-suite", name,
+                               *config.measurement_key())
+            cached = disk.get(dkey)
+            if cached is not MISS:
+                sp.set(source="disk")
+                return cached, session
+        if session is None:
+            session = config.session()
+        measurement = session.run_suite(load_suite(name))
+        matrix = CounterMatrix.from_measurement(measurement)
+        sp.set(source="simulated")
+        if disk is not None:
+            disk.put(dkey, matrix)
+    return matrix, session
 
 
 _DISK_TIERS = {}

@@ -1,0 +1,48 @@
+"""Whole-program effect analysis for the repro tree.
+
+The per-file linter (:mod:`repro.qa.lint`) answers "is this line
+suspicious?"; this package answers cross-module questions that no
+single file can: is every cached kernel *actually* pure, is every
+pool-submitted callable picklable and deterministic, does any
+shared-memory operand get mutated through an alias?
+
+* :mod:`repro.qa.flow.summary` -- one parse per module into a
+  JSON-serializable :class:`~repro.qa.flow.summary.ModuleSummary`
+  (effect atoms, call sites, class/import tables, shm dataflow).
+* :mod:`repro.qa.flow.indexer` -- project walking plus the
+  digest-keyed summary cache that makes warm re-runs incremental.
+* :mod:`repro.qa.flow.callgraph` -- cross-module symbol resolution and
+  edges, including ``functools.partial`` and pool-boundary targets.
+* :mod:`repro.qa.flow.effects` -- the effect lattice, the intrinsics
+  tables and the fixpoint :class:`~repro.qa.flow.effects.EffectSolver`.
+* :mod:`repro.qa.flow.dataflow` -- intra-procedural shm-readonly
+  taint analysis.
+* :mod:`repro.qa.flow.deeprules` -- the ``cache-purity`` /
+  ``pool-safety`` / ``shm-readonly`` contract checkers.
+* :mod:`repro.qa.flow.analyze` -- drivers: ``repro lint --deep`` and
+  ``repro analyze effects`` live here.
+"""
+
+from repro.qa.flow.analyze import (
+    FlowAnalysis,
+    analyze_project,
+    deep_findings,
+    effects_report,
+)
+from repro.qa.flow.callgraph import CallGraph
+from repro.qa.flow.deeprules import DEEP_RULES
+from repro.qa.flow.effects import ALL_EFFECTS, EffectSolver
+from repro.qa.flow.indexer import ProjectIndex, index_project
+
+__all__ = [
+    "ALL_EFFECTS",
+    "CallGraph",
+    "DEEP_RULES",
+    "EffectSolver",
+    "FlowAnalysis",
+    "ProjectIndex",
+    "analyze_project",
+    "deep_findings",
+    "effects_report",
+    "index_project",
+]

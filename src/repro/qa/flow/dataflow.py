@@ -1,0 +1,296 @@
+"""Intra-procedural dataflow for the ``shm-readonly`` contract.
+
+Arrays obtained from the shared-memory operand store
+(:func:`repro.engine.shm.resolve` / :func:`~repro.engine.shm.restore`
+/ :meth:`~repro.engine.shm.ShmStore.attach`) are zero-copy views over
+a segment other workers read concurrently; writing through one is a
+cross-process corruption even though NumPy marks the view read-only
+only at the top level (a reshaped or sliced alias can re-expose a
+writable buffer on older NumPy). This pass tracks, *within one
+function body*, which local names alias an attached array -- through
+plain assignment, tuple unpacking, subscripts/attributes of an alias
+and ``for``-iteration over one -- and flags every mutation funnel:
+
+* subscript stores (``a[i] = ...``, ``a[i] += ...``),
+* augmented assignment to an alias (``a += ...`` mutates in place),
+* ``out=alias`` keyword arguments (``np.add(x, y, out=a)``),
+* in-place ndarray method calls (``a.sort()``, ``a.fill(0)``, ...),
+* attribute stores (``a.flags.writeable = True``).
+
+A name rebound to a non-aliasing value (``a = a.copy()``) leaves the
+tracked set, so copy-then-mutate stays clean. The analysis is
+flow-ordered but branch-insensitive: taint acquired in any branch
+persists afterwards (conservative in the safe direction).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.qa.flow.effects import MUTATOR_METHODS
+
+#: In-place ndarray methods (superset of the per-file mutation rule's
+#: table: shared-memory views additionally must not be byte-swapped or
+#: have their flags loosened).
+NDARRAY_MUTATORS = frozenset({
+    "fill", "sort", "partition", "resize", "setfield", "itemset",
+    "setflags", "byteswap",
+}) | MUTATOR_METHODS
+
+#: Call chains (resolved through the module's imports) that produce a
+#: shared-memory-backed array.
+ATTACH_SOURCES = frozenset({
+    "repro.engine.shm.resolve",
+    "repro.engine.shm.restore",
+    "repro.engine.shm.ShmStore.attach",
+})
+
+#: Receiver names specific enough that ``<name>.attach(...)`` is
+#: treated as a store attach even when the receiver's type cannot be
+#: resolved (a store passed in as a parameter).
+STORE_NAMES = frozenset({"store", "shm", "shm_store", "shmstore"})
+
+
+class ShmViolation:
+    """One write through a shared-memory alias: where and why."""
+
+    def __init__(self, line, col, message):
+        self.line = line
+        self.col = col
+        self.message = message
+
+    def as_dict(self):
+        return {"line": self.line, "col": self.col, "message": self.message}
+
+    @classmethod
+    def from_dict(cls, d):
+        return cls(line=int(d["line"]), col=int(d["col"]),
+                   message=d["message"])
+
+
+def _root_name(node):
+    """The base ``Name`` under a Subscript/Attribute/Starred chain."""
+    while isinstance(node, (ast.Subscript, ast.Attribute, ast.Starred)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _target_names(target):
+    """Every plain name bound by an assignment target."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out = []
+        for element in target.elts:
+            out.extend(_target_names(element))
+        return out
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []
+
+
+class _Taint:
+    """Tracked aliases: name -> human-readable provenance."""
+
+    def __init__(self):
+        self.origin = {}
+
+    def __contains__(self, name):
+        return name in self.origin
+
+    def taint(self, name, origin):
+        self.origin[name] = origin
+
+    def kill(self, name):
+        self.origin.pop(name, None)
+
+
+def analyze_function(func, resolve_chain, sources=ATTACH_SOURCES):
+    """Run the shm-readonly dataflow over one function body.
+
+    Parameters
+    ----------
+    func:
+        An ``ast.FunctionDef`` / ``ast.AsyncFunctionDef``.
+    resolve_chain:
+        Callable mapping a dotted call chain (``"shm.restore"``) to its
+        fully-qualified name through the module's imports, or ``None``.
+    sources:
+        Fully-qualified producer names whose results are tracked.
+
+    Returns a list of :class:`ShmViolation`.
+    """
+    taint = _Taint()
+    violations = []
+
+    def is_source(call):
+        chain = _dotted(call.func)
+        if chain is None:
+            return False
+        resolved = resolve_chain(chain)
+        if resolved in sources:
+            return True
+        if "." in chain:
+            receiver, _, method = chain.rpartition(".")
+            return (method == "attach"
+                    and receiver.rsplit(".", 1)[-1] in STORE_NAMES)
+        return False
+
+    def expr_origin(node):
+        """Provenance string when ``node`` evaluates to a tracked
+        array (or a container of them), else None."""
+        if isinstance(node, ast.Call) and is_source(node):
+            return f"{_dotted(node.func)}(...) at line {node.lineno}"
+        if isinstance(node, ast.Name) and node.id in taint:
+            return f"alias of {node.id!r} ({taint.origin[node.id]})"
+        if isinstance(node, (ast.Subscript, ast.Attribute, ast.Starred)):
+            root = _root_name(node)
+            if root is not None and root in taint:
+                return f"view of {root!r} ({taint.origin[root]})"
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                origin = expr_origin(element)
+                if origin is not None:
+                    return origin
+        if isinstance(node, ast.IfExp):
+            return expr_origin(node.body) or expr_origin(node.orelse)
+        return None
+
+    def flag(node, name, how):
+        violations.append(ShmViolation(
+            line=node.lineno, col=node.col_offset + 1,
+            message=(f"{how} writes into shared-memory array {name!r} "
+                     f"({taint.origin[name]}); attached operands are "
+                     f"read-only -- copy before mutating"),
+        ))
+
+    def check_store_target(node, target):
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            root = _root_name(target)
+            if root is not None and root in taint:
+                kind = ("subscript store" if isinstance(target, ast.Subscript)
+                        else "attribute store")
+                flag(node, root, kind)
+
+    def check_call(call):
+        for keyword in call.keywords:
+            if keyword.arg == "out":
+                origin = expr_origin(keyword.value)
+                if origin is not None:
+                    name = (keyword.value.id
+                            if isinstance(keyword.value, ast.Name)
+                            else _root_name(keyword.value))
+                    if name in taint:
+                        flag(call, name, "out= argument")
+        chain = _dotted(call.func)
+        if chain is not None and "." in chain:
+            receiver, _, method = chain.rpartition(".")
+            root = receiver.split(".", 1)[0]
+            if method in NDARRAY_MUTATORS and root in taint:
+                flag(call, root, f".{method}() call")
+
+    def visit_stmt(stmt):
+        for call in _calls_in(stmt):
+            check_call(call)
+        if isinstance(stmt, ast.Assign):
+            origin = expr_origin(stmt.value)
+            for target in stmt.targets:
+                check_store_target(stmt, target)
+                for name in _target_names(target):
+                    if origin is not None:
+                        taint.taint(name, origin)
+                    else:
+                        taint.kill(name)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            origin = expr_origin(stmt.value)
+            check_store_target(stmt, stmt.target)
+            for name in _target_names(stmt.target):
+                if origin is not None:
+                    taint.taint(name, origin)
+                else:
+                    taint.kill(name)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id in taint:
+                flag(stmt, stmt.target.id, "augmented assignment")
+            else:
+                check_store_target(stmt, stmt.target)
+        elif isinstance(stmt, ast.For):
+            origin = expr_origin(stmt.iter)
+            if origin is not None:
+                for name in _target_names(stmt.target):
+                    taint.taint(name, f"iteration over {origin}")
+            visit_body(stmt.body)
+            visit_body(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            visit_body(stmt.body)
+            visit_body(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            visit_body(stmt.body)
+            visit_body(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                origin = expr_origin(item.context_expr)
+                if origin is not None and item.optional_vars is not None:
+                    for name in _target_names(item.optional_vars):
+                        taint.taint(name, origin)
+            visit_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            visit_body(stmt.body)
+            for handler in stmt.handlers:
+                visit_body(handler.body)
+            visit_body(stmt.orelse)
+            visit_body(stmt.finalbody)
+
+    def visit_body(body):
+        for stmt in body:
+            visit_stmt(stmt)
+
+    visit_body(func.body)
+    return violations
+
+
+def _calls_in(stmt):
+    """Calls in one statement, not descending into nested defs or the
+    bodies of compound statements (those are visited as statements)."""
+    blocks = []
+    if isinstance(stmt, (ast.For, ast.While, ast.If, ast.With, ast.Try)):
+        header_children = []
+        for field, value in ast.iter_fields(stmt):
+            if field in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            header_children.append(value)
+        nodes = []
+        stack = [v for v in header_children if isinstance(v, ast.AST)]
+        stack.extend(
+            item for v in header_children if isinstance(v, list)
+            for item in v if isinstance(item, ast.AST)
+        )
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Call):
+                nodes.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return nodes
+    stack = [stmt]
+    while stack:
+        node = stack.pop()
+        if node is not stmt and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.Call):
+            blocks.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return blocks
+
+
+def _dotted(node):
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

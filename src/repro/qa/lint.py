@@ -2,13 +2,18 @@
 
 The linter parses every Python file it is pointed at and runs a set of
 project-specific rules over the AST (see :mod:`repro.qa.rules`). Each
-finding is reported as ``file:line rule-id message`` -- the same shape
-compiler diagnostics take -- and the process exits non-zero when any
-finding survives suppression, so the pass can gate a merge.
+finding is reported as ``file:line:col rule-id message`` -- the same
+shape compiler diagnostics take -- and the process exits non-zero when
+any finding survives suppression, so the pass can gate a merge. With
+``--deep`` the whole-program effect analyzer (:mod:`repro.qa.flow`)
+additionally proves the cross-module contracts (cache purity,
+pool safety, shm read-only discipline); ``--format json`` emits the
+findings as a JSON array for CI consumption.
 
 Suppression is per-line and per-rule: append ``# qa-ignore[rule-id]``
 to the offending line (several ids may be comma-separated), or a bare
-``# qa-ignore`` to silence every rule on that line. Suppressions are
+``# qa-ignore`` to silence every rule on that line; for a multi-line
+statement the marker goes on its first physical line. Suppressions are
 deliberately loud in review diffs; the clean-tree pytest gate
 (``tests/test_qa_lint_clean.py``) keeps the default posture "fix, not
 suppress".
@@ -16,6 +21,7 @@ suppress".
 Run it as::
 
     repro lint src/repro
+    repro lint --deep --format json src/repro
     python -m repro.qa.lint src/repro tests
 """
 
@@ -23,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import re
 import sys
 from dataclasses import dataclass
@@ -31,15 +38,22 @@ from pathlib import Path
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One diagnostic: where, which rule, and what is wrong."""
+    """One diagnostic: where (line and column), which rule, and what
+    is wrong."""
 
     path: str
     line: int
+    col: int
     rule_id: str
     message: str
 
     def __str__(self):
-        return f"{self.path}:{self.line} {self.rule_id} {self.message}"
+        return (f"{self.path}:{self.line}:{self.col} "
+                f"{self.rule_id} {self.message}")
+
+    def as_dict(self):
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule_id": self.rule_id, "message": self.message}
 
 
 _SUPPRESS_RE = re.compile(r"#\s*qa-ignore(?:\[(?P<rules>[^\]]*)\])?")
@@ -52,6 +66,7 @@ class SourceContext:
         self.path = Path(path)
         self.source = source
         self.lines = source.splitlines()
+        self._stmt_start = {}  # physical line -> enclosing stmt's line
 
     def in_directory(self, *names):
         """Whether any path component matches one of ``names``."""
@@ -61,9 +76,22 @@ class SourceContext:
     def is_package_init(self):
         return self.path.name == "__init__.py"
 
-    def suppressed(self, line, rule_id):
-        """Whether ``# qa-ignore`` on the given physical line covers
-        ``rule_id``."""
+    def attach_statements(self, tree):
+        """Record, for every physical line, the starting line of the
+        innermost statement containing it, so a ``# qa-ignore`` on the
+        first line of a multi-line statement covers findings anchored
+        on its continuation lines."""
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            end = getattr(node, "end_lineno", None) or node.lineno
+            for line in range(node.lineno, end + 1):
+                known = self._stmt_start.get(line, 0)
+                # Innermost statement wins: the largest start line.
+                if node.lineno > known:
+                    self._stmt_start[line] = node.lineno
+
+    def _line_suppresses(self, line, rule_id):
         if not (1 <= line <= len(self.lines)):
             return False
         match = _SUPPRESS_RE.search(self.lines[line - 1])
@@ -74,6 +102,16 @@ class SourceContext:
             return True  # bare qa-ignore silences everything
         ids = {item.strip() for item in listed.split(",") if item.strip()}
         return rule_id in ids
+
+    def suppressed(self, line, rule_id):
+        """Whether ``# qa-ignore`` covers ``rule_id`` at ``line`` --
+        either on that physical line or on the first line of the
+        enclosing statement (multi-line calls, parenthesized args)."""
+        if self._line_suppresses(line, rule_id):
+            return True
+        start = self._stmt_start.get(line)
+        return (start is not None and start != line
+                and self._line_suppresses(start, rule_id))
 
 
 def _default_rules():
@@ -94,10 +132,12 @@ def lint_source(source, path="<string>", rules=None):
             Finding(
                 path=str(path),
                 line=int(exc.lineno or 1),
+                col=int(exc.offset or 1),
                 rule_id="parse-error",
                 message=f"file does not parse: {exc.msg}",
             )
         ]
+    ctx.attach_statements(tree)
     findings = []
     for rule in rules:
         if not rule.applies_to(ctx):
@@ -144,25 +184,55 @@ def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="Project-specific numerical static-analysis pass.",
+        epilog=(
+            "--deep additionally runs the whole-program effect analyzer "
+            "(repro.qa.flow): cache-purity, pool-safety and shm-readonly "
+            "are proven over the cross-module call graph, with findings "
+            "carrying the justifying call chain. Deep analysis caches "
+            "per-module summaries keyed by file digest ($REPRO_FLOW_CACHE "
+            "overrides the cache directory; set it empty to disable)."
+        ),
     )
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories (default: src/repro)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--deep", action="store_true",
+                        help="also run the whole-program contract rules "
+                             "(cache-purity, pool-safety, shm-readonly)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="output_format",
+                        help="findings as human-readable lines (default) "
+                             "or a JSON array for CI")
     args = parser.parse_args(argv)
 
     if args.list_rules:
+        from repro.qa.flow.deeprules import DEEP_RULES
+
         for rule in default_rules():
             print(f"{rule.rule_id:<18} {rule.description}")
+        for deep_rule in DEEP_RULES:
+            print(f"{deep_rule.rule_id:<18} [deep] "
+                  f"{deep_rule.description}")
         return 0
 
+    paths = args.paths or ["src/repro"]
     try:
-        findings = lint_paths(args.paths or ["src/repro"])
+        findings = lint_paths(paths)
+        if args.deep:
+            from repro.qa.flow.analyze import deep_findings
+            from repro.qa.flow.indexer import default_cache_dir
+
+            findings = sorted(findings + deep_findings(
+                paths, cache_dir=default_cache_dir()))
     except FileNotFoundError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
-    for finding in findings:
-        print(finding)
+    if args.output_format == "json":
+        print(json.dumps([f.as_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding)
     if findings:
         print(f"{len(findings)} finding(s)", file=sys.stderr)
         return 1

@@ -25,9 +25,12 @@ class Rule:
         raise NotImplementedError
 
     def finding(self, ctx, node_or_line, message):
-        line = (node_or_line if isinstance(node_or_line, int)
-                else getattr(node_or_line, "lineno", 1))
-        return Finding(path=str(ctx.path), line=line,
+        if isinstance(node_or_line, int):
+            line, col = node_or_line, 1
+        else:
+            line = getattr(node_or_line, "lineno", 1)
+            col = getattr(node_or_line, "col_offset", 0) + 1
+        return Finding(path=str(ctx.path), line=line, col=col,
                        rule_id=self.rule_id, message=message)
 
 
@@ -80,7 +83,8 @@ def parameters_with_none_default(func):
 
 def rebound_names(func):
     """Parameter-shadowing local rebinds: names assigned as plain
-    ``name = ...`` (or for-targets / with-targets) in the body."""
+    ``name = ...`` (augmented assignment, walrus, for-targets and
+    with-targets included) in the body."""
     out = set()
 
     def add_target(target):
@@ -96,7 +100,9 @@ def rebound_names(func):
         if isinstance(node, ast.Assign):
             for target in node.targets:
                 add_target(target)
-        elif isinstance(node, ast.AnnAssign):
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            add_target(node.target)
+        elif isinstance(node, ast.NamedExpr):
             add_target(node.target)
         elif isinstance(node, ast.For):
             add_target(node.target)

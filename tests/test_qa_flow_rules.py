@@ -1,0 +1,398 @@
+"""Deep contract rules: seeded adversarial fixtures for each rule.
+
+Every fixture is the *wrong* program the rule exists to catch -- an
+impure cached kernel, a closure crossing the pool boundary, a mutation
+of a shared-memory view -- plus the corrected twin that must stay
+clean. Analysis is static; fixtures are never imported.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.qa.flow.analyze import analyze_project, deep_findings
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def make_pkg(tmp_path, files, name="pkg"):
+    root = tmp_path / name
+    root.mkdir(exist_ok=True)
+    if "__init__.py" not in files:
+        (root / "__init__.py").write_text("")
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+def findings_for(tmp_path, files):
+    return deep_findings([make_pkg(tmp_path, files)], cache_dir=None)
+
+
+def by_rule(findings, rule_id):
+    return [f for f in findings if f.rule_id == rule_id]
+
+
+class TestCachePurity:
+    def test_clock_in_cached_kernel_flagged_with_chain(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "kern.py": """\
+                import time
+
+                from repro.engine.cache import KernelCache
+
+
+                def stamp():
+                    return time.time()
+
+
+                class Kernel:
+                    def __init__(self):
+                        self.cache = KernelCache()
+
+                    def compute(self, key, x):
+                        value = x * stamp()
+                        self.cache.put(key, value)
+                        return value
+            """,
+        })
+        flagged = by_rule(findings, "cache-purity")
+        assert len(flagged) == 1
+        message = flagged[0].message
+        assert "CLOCK" in message
+        assert "pkg.kern.Kernel.compute" in message
+        # The justifying chain walks through the helper to the atom.
+        assert "pkg.kern.stamp" in message
+        assert "time.time" in message
+
+    def test_unseeded_rng_in_cached_kernel_flagged(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "kern.py": """\
+                import numpy as np
+
+                from repro.engine.cache import KernelCache
+
+                CACHE = KernelCache()
+
+
+                def compute(key, n):
+                    value = np.random.rand(n)
+                    return CACHE.get_or_compute(key, lambda: value)
+            """,
+        })
+        flagged = by_rule(findings, "cache-purity")
+        assert len(flagged) == 1
+        assert "RNG_UNSEEDED" in flagged[0].message
+
+    def test_pure_cached_kernel_clean(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "kern.py": """\
+                from repro.engine.cache import KernelCache
+
+
+                class Kernel:
+                    def __init__(self):
+                        self.cache = KernelCache()
+
+                    def compute(self, key, x):
+                        value = x * 2
+                        self.cache.put(key, value)
+                        return value
+            """,
+        })
+        assert by_rule(findings, "cache-purity") == []
+
+    def test_suppression_on_the_cache_site(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "kern.py": """\
+                import time
+
+                from repro.engine.cache import KernelCache
+
+
+                class Kernel:
+                    def __init__(self):
+                        self.cache = KernelCache()
+
+                    def compute(self, key):
+                        value = time.time()
+                        self.cache.put(key, value)  # qa-ignore[cache-purity]
+                        return value
+            """,
+        })
+        assert by_rule(findings, "cache-purity") == []
+
+
+class TestPoolSafety:
+    def test_lambda_submission_flagged(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "driver.py": """\
+                from repro.engine.parallel import ParallelExecutor
+
+
+                def fan_out(items):
+                    executor = ParallelExecutor(workers=2)
+                    return executor.map(lambda x: x * 2, items)
+            """,
+        })
+        flagged = by_rule(findings, "pool-safety")
+        assert len(flagged) == 1
+        assert "lambda" in flagged[0].message
+
+    def test_nested_function_submission_flagged(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "driver.py": """\
+                from repro.engine.parallel import ParallelExecutor
+
+
+                def fan_out(items, scale):
+                    def task(x):
+                        return x * scale
+
+                    executor = ParallelExecutor(workers=2)
+                    return executor.map(task, items)
+            """,
+        })
+        flagged = by_rule(findings, "pool-safety")
+        assert len(flagged) == 1
+        assert "nested function" in flagged[0].message
+        assert "pkg.driver.fan_out.task" in flagged[0].message
+
+    def test_effectful_task_flagged_with_chain(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "driver.py": """\
+                import numpy as np
+
+                from repro.engine.parallel import ParallelExecutor
+
+
+                def task(x):
+                    return x + np.random.rand()
+
+
+                def fan_out(items):
+                    executor = ParallelExecutor(workers=2)
+                    return executor.map(task, items)
+            """,
+        })
+        flagged = by_rule(findings, "pool-safety")
+        assert len(flagged) == 1
+        assert "RNG_UNSEEDED" in flagged[0].message
+        assert "numpy.random.rand" in flagged[0].message
+
+    def test_clean_top_level_task_passes(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "driver.py": """\
+                from repro.engine.parallel import ParallelExecutor
+
+
+                def task(x):
+                    return x * 2
+
+
+                def fan_out(items):
+                    executor = ParallelExecutor(workers=2)
+                    return executor.map(task, items)
+            """,
+        })
+        assert by_rule(findings, "pool-safety") == []
+
+
+class TestShmReadonly:
+    def test_subscript_store_flagged(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "worker.py": """\
+                from repro.engine import shm
+
+
+                def clobber(ref):
+                    view = shm.resolve(ref)
+                    view[0] = 1.0
+                    return view
+            """,
+        })
+        flagged = by_rule(findings, "shm-readonly")
+        assert len(flagged) == 1
+        assert "subscript store" in flagged[0].message
+        assert "pkg.worker.clobber" in flagged[0].message
+
+    def test_alias_augmented_assignment_flagged(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "worker.py": """\
+                from repro.engine.shm import restore
+
+
+                def scale(args):
+                    arrays = restore(args)
+                    first = arrays
+                    first += 2.0
+                    return first
+            """,
+        })
+        flagged = by_rule(findings, "shm-readonly")
+        assert len(flagged) == 1
+        assert "augmented assignment" in flagged[0].message
+
+    def test_out_kwarg_and_mutator_method_flagged(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "worker.py": """\
+                import numpy as np
+
+                from repro.engine.shm import ShmStore
+
+
+                def crunch(store, ref, other):
+                    a = store.attach(ref)
+                    np.add(a, other, out=a)
+                    a.sort()
+                    return a
+            """,
+        })
+        flagged = by_rule(findings, "shm-readonly")
+        kinds = sorted(f.message.split(" writes into")[0].split(": ")[-1]
+                       for f in flagged)
+        assert len(flagged) == 2
+        assert any("out= argument" in f.message for f in flagged)
+        assert any(".sort() call" in f.message for f in flagged)
+
+    def test_local_store_binding_resolves_attach(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "worker.py": """\
+                from repro.engine.shm import ShmStore
+
+
+                def mutate(ref):
+                    store = ShmStore()
+                    view = store.attach(ref)
+                    view[2] = 9
+                    return view
+            """,
+        })
+        assert len(by_rule(findings, "shm-readonly")) == 1
+
+    def test_copy_then_mutate_clean(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "worker.py": """\
+                from repro.engine import shm
+
+
+                def safe(ref):
+                    view = shm.resolve(ref)
+                    view = view.copy()
+                    view[0] = 1.0
+                    view.sort()
+                    return view
+            """,
+        })
+        assert by_rule(findings, "shm-readonly") == []
+
+    def test_suppression(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "worker.py": """\
+                from repro.engine import shm
+
+
+                def clobber(ref):
+                    view = shm.resolve(ref)
+                    view[0] = 1.0  # qa-ignore[shm-readonly]
+                    return view
+            """,
+        })
+        assert by_rule(findings, "shm-readonly") == []
+
+
+class TestCli:
+    DIRTY = {
+        "kern.py": """\
+            import time
+
+            from repro.engine.cache import KernelCache
+
+
+            class Kernel:
+                def __init__(self):
+                    self.cache = KernelCache()
+
+                def compute(self, key):
+                    value = time.time()
+                    self.cache.put(key, value)
+                    return value
+        """,
+    }
+
+    def test_deep_lint_dirty_tree_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = make_pkg(tmp_path, self.DIRTY)
+        assert main(["lint", "--deep", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "cache-purity" in out
+
+    def test_shallow_lint_misses_deep_finding(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = make_pkg(tmp_path, self.DIRTY)
+        # The per-file pass cannot see the cross-module contract; only
+        # --deep can. (time.time in a non-repro path is still an
+        # obs-discipline finding, so scope to the deep rules.)
+        assert main(["lint", str(root)]) in (0, 1)
+        out = capsys.readouterr().out
+        assert "cache-purity" not in out
+
+    def test_json_format_parses_and_carries_columns(self, tmp_path,
+                                                    capsys):
+        from repro.cli import main
+
+        root = make_pkg(tmp_path, self.DIRTY)
+        assert main(["lint", "--deep", "--format", "json",
+                     str(root)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and payload
+        deep = [f for f in payload if f["rule_id"] == "cache-purity"]
+        assert deep
+        for finding in payload:
+            assert set(finding) == {"path", "line", "col", "rule_id",
+                                    "message"}
+            assert finding["col"] >= 1
+
+    def test_deep_lint_clean_tree_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = make_pkg(tmp_path, {
+            "kern.py": "def pure(x):\n    return x + 1\n",
+        })
+        assert main(["lint", "--deep", str(root)]) == 0
+
+    def test_analyze_effects_cli(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_FLOW_CACHE", "")
+        assert main(["analyze", "effects", "DiskCache.put",
+                     "--root", str(SRC)]) == 0
+        out = capsys.readouterr().out
+        assert "repro.engine.diskcache.DiskCache.put" in out
+        assert "IO" in out
+
+    def test_analyze_effects_unknown_symbol_exits_two(
+            self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_FLOW_CACHE", "")
+        assert main(["analyze", "effects", "not_a_symbol",
+                     "--root", str(SRC)]) == 2
+        assert "no function matches" in capsys.readouterr().err
+
+
+class TestRealTreeContracts:
+    def test_engine_cache_sites_are_pure(self):
+        from repro.qa.flow.deeprules import FORBIDDEN_CACHED
+
+        analysis = analyze_project(SRC)
+        engine_sites = [s for s in analysis.graph.cache_sites
+                        if s.func.startswith("repro.engine.engine.")]
+        assert engine_sites
+        for site in engine_sites:
+            bad = analysis.solver.effects(site.func) & FORBIDDEN_CACHED
+            assert not bad, (site.func, bad)

@@ -383,7 +383,49 @@ class TestEngine:
         findings = lint("x = 1.0 == 1.0\n")
         assert findings[0].path.endswith("snippet.py")
         assert findings[0].line == 1
-        assert str(findings[0]).startswith(findings[0].path + ":1 ")
+        assert findings[0].col == 5  # the comparison, not the assign
+        assert str(findings[0]).startswith(findings[0].path + ":1:5 ")
+
+    def test_findings_sort_by_position(self):
+        findings = lint("a = 1.0 == b() == 2.0\n")
+        cols = [f.col for f in findings]
+        assert cols == sorted(cols)
+
+    def test_multiline_statement_suppressed_from_first_line(self):
+        # The finding anchors on line 4 (the call); the marker sits on
+        # the first physical line of the enclosing statement.
+        findings = lint("""\
+            import numpy as np
+
+            x = (  # qa-ignore[rng-discipline]
+                np.random.rand(3)
+            )
+        """)
+        assert findings == []
+
+    def test_multiline_suppression_only_listed_rule(self):
+        findings = lint("""\
+            import numpy as np
+
+            x = (  # qa-ignore[float-equality]
+                np.random.rand(3)
+            )
+        """)
+        assert rule_ids(findings) == ["rng-discipline"]
+        assert findings[0].line == 4
+
+    def test_suppression_on_inner_statement_does_not_leak(self):
+        # A qa-ignore inside an if-body's first statement must not
+        # cover a finding on a different statement in the same block.
+        findings = lint("""\
+            import numpy as np
+
+            if True:
+                y = np.random.rand(2)  # qa-ignore[rng-discipline]
+                x = np.random.rand(3)
+        """)
+        assert rule_ids(findings) == ["rng-discipline"]
+        assert findings[0].line == 5
 
     def test_lint_paths_on_fixture_tree(self, tmp_path):
         pkg = tmp_path / "core"
@@ -505,7 +547,7 @@ class TestCli:
         target.write_text("import numpy as np\nx = np.random.rand(3)\n")
         assert main(["lint", str(target)]) == 1
         out = capsys.readouterr().out
-        assert f"{target}:2 rng-discipline" in out
+        assert f"{target}:2:5 rng-discipline" in out
 
     def test_cli_list_rules(self, capsys):
         from repro.cli import main
@@ -513,5 +555,110 @@ class TestCli:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("rng-discipline", "arg-mutation", "float-equality",
-                        "overbroad-except", "all-drift", "obs-discipline"):
+                        "overbroad-except", "all-drift", "obs-discipline",
+                        "cache-purity", "pool-safety", "shm-readonly"):
             assert rule_id in out
+
+
+# -- rule helpers ------------------------------------------------------------
+
+
+class TestReboundNames:
+    @staticmethod
+    def _rebound(source):
+        import ast
+
+        from repro.qa.rules.base import rebound_names
+
+        func = ast.parse(textwrap.dedent(source)).body[0]
+        return rebound_names(func)
+
+    def test_plain_and_tuple_assigns(self):
+        names = self._rebound("""\
+            def f(a, b):
+                a = 1
+                x, (y, *z) = b
+        """)
+        assert {"a", "x", "y", "z"} <= names
+
+    def test_augmented_assignment_counts_as_rebind(self):
+        names = self._rebound("""\
+            def f(total, items):
+                total += len(items)
+        """)
+        assert "total" in names
+
+    def test_walrus_counts_as_rebind(self):
+        names = self._rebound("""\
+            def f(values):
+                if (n := len(values)) > 3:
+                    return n
+        """)
+        assert "n" in names
+
+    def test_arg_mutation_not_flagged_after_augassign_rebind(self):
+        # Pre-fix false positive: AugAssign did not count as a rebind,
+        # so `arr.sort()` was reported as parameter mutation.
+        findings = lint("""\
+            def kernel(arr, extra):
+                arr += extra
+                arr.sort()
+                return arr
+        """, path="src/repro/stats/thing.py")
+        assert findings == []
+
+    def test_arg_mutation_not_flagged_after_walrus_rebind(self):
+        findings = lint("""\
+            import numpy as np
+
+            def kernel(arr):
+                if (arr := np.asarray(arr, dtype=float).copy()).size:
+                    arr.sort()
+                return arr
+        """, path="src/repro/stats/thing.py")
+        assert findings == []
+
+
+class TestIterPythonFiles:
+    def test_hidden_directories_excluded(self, tmp_path):
+        from repro.qa.lint import iter_python_files
+
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("A = 1\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "secret.py").write_text("B = 2\n")
+        files = iter_python_files([tmp_path])
+        assert [f.name for f in files] == ["mod.py"]
+
+    def test_mixed_file_and_directory_args(self, tmp_path):
+        from repro.qa.lint import iter_python_files
+
+        lone = tmp_path / "lone.py"
+        lone.write_text("A = 1\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "mod.py").write_text("B = 2\n")
+        files = iter_python_files([lone, sub])
+        assert [f.name for f in files] == ["lone.py", "mod.py"]
+
+    def test_non_python_file_raises(self, tmp_path):
+        from repro.qa.lint import iter_python_files
+
+        target = tmp_path / "notes.txt"
+        target.write_text("hi\n")
+        with pytest.raises(FileNotFoundError):
+            iter_python_files([target])
+
+    def test_missing_path_raises(self, tmp_path):
+        from repro.qa.lint import iter_python_files
+
+        with pytest.raises(FileNotFoundError):
+            iter_python_files([tmp_path / "nope"])
+
+    def test_non_py_files_in_directory_skipped(self, tmp_path):
+        from repro.qa.lint import iter_python_files
+
+        (tmp_path / "mod.py").write_text("A = 1\n")
+        (tmp_path / "README.md").write_text("hi\n")
+        files = iter_python_files([tmp_path])
+        assert [f.name for f in files] == ["mod.py"]
