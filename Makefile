@@ -1,10 +1,11 @@
 # Development targets. `make qa` is the pre-merge gate documented in
 # benchmarks/README.md: the in-tree static-analysis pass (per-file
 # rules plus the whole-program effect analyzer behind --deep), ruff,
-# mypy (both skipped with a notice when not installed) and the
+# mypy (both skipped with a notice when not installed), the
 # bit-for-bit determinism checker (which also proves the parallel
 # scoring engine -- and the sliced subset search -- bit-identical at
-# workers=2).
+# workers=2), and the serve-smoke check (the scoring daemon serves the
+# CLI's exact bits and shuts down leak-free).
 # `make bench` includes the engine's cold-vs-warm cache bench, the
 # subset evaluator's sliced-vs-naive bench, the warm-substrate
 # bench (persistent pool vs pool-per-call + disk-cold vs disk-warm
@@ -15,10 +16,10 @@
 PYTHON ?= python
 RUN = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
 
-.PHONY: qa lint lint-deep ruff mypy determinism test bench \
+.PHONY: qa lint lint-deep ruff mypy determinism serve-smoke test bench \
 	bench-engine bench-subset bench-parallel bench-obs
 
-qa: lint lint-deep ruff mypy determinism
+qa: lint lint-deep ruff mypy determinism serve-smoke
 	@echo "qa: all gates passed"
 
 lint:
@@ -43,6 +44,13 @@ mypy:
 
 determinism:
 	$(RUN) -m repro.qa.determinism --workers 2
+
+# Serve-smoke: boot the scoring daemon, score over real HTTP, diff the
+# served scorecards bit-for-bit against the one-shot CLI (cold, warm,
+# restarted-over-a-warm-disk-tier, concurrent), check the warm-cache
+# counters moved, and verify a leak-free shutdown.
+serve-smoke:
+	$(RUN) -m repro.qa.service_check --workers 2
 
 test:
 	$(RUN) -m pytest -x -q

@@ -9,8 +9,10 @@
     perspector experiment fig1|fig2|fig3|fig4|fig5|fig6|subset|mux|ablations
     perspector lint [--deep] [--format text|json] [paths ...]
     perspector analyze effects <symbol> [--root DIR]
-    perspector qa [--seed N]
+    perspector qa [--seed N] [--serve]
     perspector obs summary TRACE [--top N]
+    perspector serve [--host H] [--port P] [--workers N ...]
+    perspector client score <suite> [--host H] [--port P]
 
 Scoring commands run the simulation stack end-to-end; ``--quick``
 switches to the short-trace preset. ``score``, ``compare``, ``subset``
@@ -35,6 +37,15 @@ run manifest (``FILE.manifest.json``) on exit. Tracing never changes
 an output bit -- ``repro qa`` checks that. ``repro obs summary FILE``
 renders a JSONL trace as a human report (top spans by self time,
 cache-tier hit rates, pool utilization).
+
+``serve`` runs the scoring daemon (:mod:`repro.service`): one shared
+engine -- persistent pool, kernel cache, disk tier -- kept hot across
+HTTP requests, with ``score``/``compare``/``subset`` as endpoints and
+a live metrics snapshot at ``GET /v1/metrics``. ``client`` is the
+matching blocking client; ``repro client score <suite>`` prints
+byte-for-byte what ``repro score <suite>`` prints (the service qa
+variant, ``repro qa --serve`` / ``make serve-smoke``, enforces that at
+the IEEE-754 bit level).
 
 Report tables go to stdout; status lines (``wrote ...``) go to stderr,
 so piping a report into a file never interleaves progress chatter.
@@ -172,7 +183,58 @@ def _cmd_qa(args):
             "--workers", str(args.workers)]
     if args.full:
         argv.append("--full")
-    return determinism_main(argv)
+    status = determinism_main(argv)
+    if args.serve:
+        # The service determinism variant: a daemon-served scorecard
+        # must be bit-identical to the one-shot CLI, warm requests must
+        # hit the shared caches, shutdown must leak nothing.
+        from repro.qa.service_check import main as service_main
+
+        status = max(status, service_main([]))
+    return status
+
+
+def _cmd_serve(args):
+    from repro.service import ScoringService
+
+    service = ScoringService(_config(args), host=args.host,
+                             port=args.port)
+    return service.run()
+
+
+def _cmd_client(args):
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port,
+                           timeout=args.timeout)
+    try:
+        if args.client_command == "score":
+            print(client.score(args.suite, focus=args.focus)["rendered"])
+        elif args.client_command == "compare":
+            print(client.compare(args.suites,
+                                 focus=args.focus)["rendered"])
+        elif args.client_command == "subset":
+            print(client.subset(args.suite, size=args.size,
+                                search=args.search,
+                                method=args.method)["rendered"])
+        elif args.client_command == "metrics":
+            print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+        elif args.client_command == "health":
+            print(json.dumps(client.health(), indent=2, sort_keys=True))
+        else:  # shutdown
+            client.shutdown()
+            print(f"asked {args.host}:{args.port} to shut down",
+                  file=sys.stderr)
+    except ServiceError as exc:
+        print(f"repro client: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro client: cannot reach {args.host}:{args.port} "
+              f"({exc})", file=sys.stderr)
+        return 2
+    return 0
 
 
 #: Drivers that default to the quick preset when run without --quick
@@ -360,6 +422,13 @@ def build_parser():
         help="also check engine invariance at this worker count "
              "(scorecards must be bit-identical to the serial path)",
     )
+    p_qa.add_argument(
+        "--serve", action="store_true",
+        help="also run the service determinism variant: a scoring "
+             "daemon's HTTP responses must be bit-identical to the "
+             "one-shot CLI, warm requests must hit the shared caches, "
+             "and shutdown must leak no shm segments or cache tmp files",
+    )
     _add_trace_flags(p_qa)
 
     p_rep = sub.add_parser(
@@ -384,6 +453,62 @@ def build_parser():
     p_sum.add_argument("--top", type=int, default=15, metavar="N",
                        help="how many span names to rank by self time "
                             "(default 15)")
+
+    from repro.service.app import DEFAULT_HOST, DEFAULT_PORT
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the scoring daemon: one shared warm engine "
+             "(persistent pool, kernel cache, disk tier) behind an "
+             "HTTP/JSON API (POST /v1/score|compare|subset, "
+             "GET /v1/metrics|health, POST /v1/shutdown)",
+    )
+    p_serve.add_argument("--host", default=DEFAULT_HOST,
+                         help=f"bind address (default {DEFAULT_HOST})")
+    p_serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                         help=f"bind port; 0 picks an ephemeral one "
+                              f"(default {DEFAULT_PORT})")
+    _add_engine_flags(p_serve)
+    _add_trace_flags(p_serve)
+
+    p_client = sub.add_parser(
+        "client", help="talk to a running scoring daemon"
+    )
+    client_sub = p_client.add_subparsers(dest="client_command",
+                                         required=True)
+
+    def _client_parser(name, help_text):
+        p = client_sub.add_parser(name, help=help_text)
+        p.add_argument("--host", default=DEFAULT_HOST)
+        p.add_argument("--port", type=int, default=DEFAULT_PORT)
+        p.add_argument("--timeout", type=float, default=600.0,
+                       metavar="SECONDS",
+                       help="socket timeout per request (default 600)")
+        return p
+
+    p_cs = _client_parser(
+        "score",
+        "score one suite on the daemon; prints byte-for-byte what "
+        "'repro score' prints",
+    )
+    p_cs.add_argument("suite", choices=available_suites())
+    p_cs.add_argument("--focus", default="all",
+                      choices=["all", "llc", "tlb", "branch", "core"])
+    p_cc = _client_parser("compare", "compare suites on the daemon")
+    p_cc.add_argument("suites", nargs="+", choices=available_suites())
+    p_cc.add_argument("--focus", default="all",
+                      choices=["all", "llc", "tlb", "branch", "core"])
+    p_cb = _client_parser("subset", "subset generation/search on the "
+                                    "daemon")
+    p_cb.add_argument("suite", choices=available_suites())
+    p_cb.add_argument("--size", type=int, default=8)
+    p_cb.add_argument("--search", type=int, default=None, metavar="N")
+    p_cb.add_argument("--method", default="lhs",
+                      choices=["lhs", "random", "swap"])
+    _client_parser("metrics", "live engine metrics snapshot (JSON)")
+    _client_parser("health", "daemon liveness + configuration (JSON)")
+    _client_parser("shutdown", "graceful drain-and-stop")
+    _add_trace_flags(p_client)
     return parser
 
 
@@ -451,6 +576,8 @@ def main(argv=None):
         "analyze": _cmd_analyze,
         "qa": _cmd_qa,
         "obs": _cmd_obs,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
     }
     handler = handlers[args.command]
     if getattr(args, "trace", None):

@@ -253,7 +253,16 @@ class DiskCache:
         meta, arrays = encoded
         path = self._path(key)
         if os.path.exists(path):
-            return False  # content-addressed: same key, same bytes
+            # Content-addressed: same key, same bytes -- no rewrite
+            # needed. But a re-put is a *use*: without the same LRU
+            # touch `get` performs, an entry recomputed by a second
+            # process would keep its cold mtime and be evicted first
+            # despite being demonstrably hot.
+            try:
+                os.utime(path)
+            except OSError:
+                pass
+            return False
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
         tmp = os.path.join(directory, f".{key}.{os.getpid()}.tmp")

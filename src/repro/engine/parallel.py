@@ -230,13 +230,20 @@ class ParallelExecutor:
                 else:
                     from concurrent.futures import ProcessPoolExecutor
 
+                    # The comparison arm must count worker crashes too:
+                    # metrics parity with the persistent branch (the
+                    # with-block already disposes the one-shot pool).
                     with ProcessPoolExecutor(
                         max_workers=self.workers,
                         mp_context=multiprocessing.get_context(START_METHOD),
                     ) as pool:
                         self._pool_created.inc()
-                        results = list(pool.map(_invoke, payloads,
-                                                chunksize=chunksize))
+                        try:
+                            results = list(pool.map(_invoke, payloads,
+                                                    chunksize=chunksize))
+                        except BrokenProcessPool:
+                            self._pool_broken.inc()
+                            raise
                 return self._unship(results, map_span.sid)
             finally:
                 # End of generation: segments published for this call

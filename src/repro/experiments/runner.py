@@ -155,10 +155,13 @@ def _disk_for(config):
     return _DISK_TIERS[cache_dir]
 
 
-def perspector_for(config, session=None):
+def perspector_for(config, session=None, engine=None):
     """A :class:`~repro.core.perspector.Perspector` wired to an
     :class:`ExperimentConfig`'s scoring knobs (``metric_seed``,
-    ``workers``, ``cache``)."""
+    ``workers``, ``cache``). Passing ``engine`` scores through a shared
+    (already-warm) :class:`~repro.engine.Engine` instead of building a
+    private one -- the scoring daemon's path; the engine is a pure
+    accelerator, so the scorecard bits are identical either way."""
     from repro.core.perspector import Perspector, PerspectorConfig
 
     return Perspector(
@@ -169,6 +172,7 @@ def perspector_for(config, session=None):
             cache=config.cache,
             cache_dir=getattr(config, "cache_dir", None),
         ),
+        engine=engine,
     )
 
 

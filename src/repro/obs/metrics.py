@@ -123,6 +123,14 @@ class MetricsSnapshot:
         return dict(self.values)
 
 
+#: Snapshot name suffixes a histogram ``h`` expands into. A non-histogram
+#: instrument whose name collides with one of these expansions would
+#: silently share (or shadow) the expanded entry in :meth:`snapshot`,
+#: with the surviving value decided by dict insertion order -- so the
+#: collision is rejected at registration time instead.
+RESERVED_SUFFIXES = ("_count", "_sum", "_min", "_max")
+
+
 class MetricsRegistry:
     """Named instruments, created on first use, snapshottable."""
 
@@ -130,10 +138,42 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._metrics = {}
 
+    def _check_expansion_collision(self, name, cls):
+        """Reject names whose :meth:`snapshot` expansions would collide.
+
+        Two directions, both fatal: registering histogram ``lat`` while
+        an instrument ``lat_count`` (or ``lat_sum``/``lat_min``/
+        ``lat_max``) exists, and registering an instrument ``lat_count``
+        while histogram ``lat`` exists. Called under ``self._lock``.
+        """
+        if cls is Histogram:
+            for suffix in RESERVED_SUFFIXES:
+                other = self._metrics.get(name + suffix)
+                if other is not None and not isinstance(other, Histogram):
+                    raise ValueError(
+                        f"histogram {name!r} would expand to "
+                        f"{name + suffix!r} in snapshots, which is "
+                        f"already registered as a "
+                        f"{type(other).__name__.lower()}; rename one of "
+                        f"them"
+                    )
+        for suffix in RESERVED_SUFFIXES:
+            if not name.endswith(suffix):
+                continue
+            base = name[:-len(suffix)]
+            other = self._metrics.get(base)
+            if isinstance(other, Histogram) and cls is not Histogram:
+                raise ValueError(
+                    f"{cls.__name__.lower()} {name!r} collides with the "
+                    f"snapshot expansion of histogram {base!r}; rename "
+                    f"one of them"
+                )
+
     def _get_or_create(self, name, cls):
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:
+                self._check_expansion_collision(name, cls)
                 metric = self._metrics[name] = cls(name)
             elif not isinstance(metric, cls):
                 raise TypeError(

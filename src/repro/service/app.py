@@ -1,0 +1,418 @@
+"""The scoring daemon: one warm :class:`~repro.engine.Engine`, served.
+
+Everything the one-shot CLI can do dies with its process -- the
+persistent worker pool, the in-process kernel cache and the disk tier
+all start cold on every invocation. :class:`ScoringService` keeps one
+shared engine hot across requests and exposes the CLI's scoring
+surface over HTTP/JSON (DESIGN.md section 12):
+
+``POST /v1/score``
+    ``{"suite": name, "focus": "all"}`` -- one suite's scorecard,
+    exactly the ``repro score`` semantics.
+``POST /v1/compare``
+    ``{"suites": [...], "focus": "all"}`` -- jointly-normalized
+    comparison, exactly ``repro compare``.
+``POST /v1/subset``
+    ``{"suite": name, "size": 8, "search": N?, "method": "lhs"}`` --
+    LHS subset report, or the multi-candidate sliced search when
+    ``search`` is given; exactly ``repro subset``.
+``GET /v1/metrics``
+    Live :class:`~repro.obs.metrics.MetricsRegistry` snapshot of the
+    shared engine (cache tiers, shm transport, pool lifecycle, service
+    request counters) -- ``repro obs`` as a service surface.
+``GET /v1/health``
+    Liveness + engine configuration.
+``POST /v1/shutdown``
+    Graceful stop: the listener closes, in-flight requests drain, the
+    engine's ``close()`` path tears down pool and shm segments.
+
+**Admission model.** Connections are admitted concurrently on the
+event loop (health/metrics stay responsive mid-scoring), while all
+kernel work is funneled through one dedicated scoring thread driving
+the single shared engine. Tenants therefore share the
+content-addressed caches -- a suite one client scored is warm for
+every other client -- and request interleavings can never reorder a
+reduction: scoring is serialized, so every response is bit-identical
+to the one-shot CLI at any concurrency level, worker count or cache
+state (``repro.qa.service_check`` enforces this).
+
+**Determinism.** Handlers run the very code paths the CLI handlers
+run (:func:`~repro.experiments.runner.measure_suites` +
+:func:`~repro.experiments.runner.perspector_for`), just against the
+shared engine -- and the engine is a pure accelerator, so served
+scorecards carry the same bits the CLI prints.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+import threading
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs.trace import span
+from repro.service import http as service_http
+from repro.service import protocol
+from repro.workloads import available_suites
+
+#: Default bind address/port of ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8641
+
+_FOCUS_CHOICES = ("all", "llc", "tlb", "branch", "core")
+_SEARCH_METHODS = ("lhs", "random", "swap")
+
+
+class RequestError(ValueError):
+    """A well-formed HTTP request with unusable contents (maps to 400)."""
+
+
+def _require_suite(name):
+    known = available_suites()
+    if name not in known:
+        raise RequestError(f"unknown suite {name!r}; expected one of "
+                           f"{sorted(known)}")
+    return name
+
+
+def _require_focus(focus):
+    if focus not in _FOCUS_CHOICES:
+        raise RequestError(f"unknown focus {focus!r}; expected one of "
+                           f"{list(_FOCUS_CHOICES)}")
+    return focus
+
+
+class ScoringService:
+    """One shared-engine scoring daemon.
+
+    Parameters
+    ----------
+    config:
+        :class:`~repro.experiments.runner.ExperimentConfig` fixing the
+        measurement preset and the engine knobs (``workers``, ``cache``,
+        ``cache_dir``) for the daemon's lifetime. Per-request knobs are
+        the scoring arguments only (suite, focus, subset size, ...), so
+        every tenant shares one cache key space.
+    host / port:
+        Bind address. ``port=0`` binds an ephemeral port; the bound
+        port is published as :attr:`bound_port` once serving.
+    """
+
+    def __init__(self, config, host=DEFAULT_HOST, port=DEFAULT_PORT):
+        from repro.engine import Engine
+
+        self.config = config
+        self.host = host
+        self.port = port
+        self.bound_port = None
+        self.engine = Engine.from_config(config)
+        self.metrics = self.engine.metrics
+        self._requests = self.metrics.counter("service_requests")
+        self._errors = self.metrics.counter("service_errors")
+        self._inflight = self.metrics.gauge("service_inflight")
+        # All kernel work funnels through this one thread: concurrent
+        # sessions share the engine without interleaving its reductions.
+        self._scoring = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-scoring",
+        )
+        self._active = 0
+        self._shutdown = None  # asyncio primitives are loop-bound:
+        self._idle = None      # both are created inside serve()
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self):
+        """Tear the scoring thread and the shared engine down
+        (idempotent; the engine's ``close()`` shuts the worker pool and
+        sweeps shm segments)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._scoring.shutdown(wait=True)
+        self.engine.close()
+
+    async def serve(self, on_ready=None):
+        """Accept and serve requests until a graceful shutdown is
+        requested (``POST /v1/shutdown``, SIGINT or SIGTERM); drain
+        in-flight requests, then release every resource."""
+        self._shutdown = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, self._shutdown.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or non-unix: shutdown via HTTP
+        server = await asyncio.start_server(
+            self._client_connected, host=self.host, port=self.port,
+            limit=service_http.LINE_LIMIT,
+        )
+        self.bound_port = server.sockets[0].getsockname()[1]
+        print(f"repro serve: listening on http://{self.host}:"
+              f"{self.bound_port} (workers={self.engine.workers}, "
+              f"cache_dir={self.engine.cache_dir})", file=sys.stderr)
+        if on_ready is not None:
+            on_ready()
+        try:
+            async with server:
+                await self._shutdown.wait()
+                server.close()
+                await server.wait_closed()
+            # Drain: every admitted request finishes and flushes its
+            # response before the engine goes away.
+            await self._idle.wait()
+        finally:
+            self.close()
+        print("repro serve: drained and shut down cleanly",
+              file=sys.stderr)
+
+    def run(self):
+        """Blocking entry point (the ``repro serve`` handler)."""
+        try:
+            asyncio.run(self.serve())
+        except KeyboardInterrupt:
+            self.close()
+        return 0
+
+    # -- connection handling -----------------------------------------------
+
+    async def _client_connected(self, reader, writer):
+        self._active += 1
+        self._idle.clear()
+        self._inflight.set(self._active)
+        try:
+            status, payload = await self._respond(reader, writer)
+            if status is not None:
+                writer.write(service_http.response_bytes(status, payload))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # peer went away mid-write / loop tearing down
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._active -= 1
+            self._inflight.set(self._active)
+            if self._active == 0:
+                self._idle.set()
+
+    async def _respond(self, reader, writer):
+        """``(status, envelope)`` for one connection; ``(None, None)``
+        when the peer disconnected before sending a request."""
+        try:
+            request = await service_http.read_request(reader)
+        except service_http.ProtocolError as exc:
+            return 400, protocol.error_envelope(exc)
+        if request is None:
+            return None, None
+        self._requests.inc()
+        try:
+            with span("service.request", method=request.method,
+                      path=request.path):
+                return await self._dispatch(request)
+        except (service_http.ProtocolError, RequestError) as exc:
+            self._errors.inc()
+            return 400, protocol.error_envelope(exc)
+        # The daemon must outlive any single bad request: report the
+        # failure to the client and the log, never crash the listener.
+        except Exception as exc:  # qa-ignore[overbroad-except]
+            self._errors.inc()
+            traceback.print_exc(file=sys.stderr)
+            return 500, protocol.error_envelope(
+                f"{type(exc).__name__}: {exc}")
+
+    async def _dispatch(self, request):
+        table = self._route_table()
+        if request.path not in {path for _m, path, _fn in table}:
+            return 404, protocol.error_envelope(
+                f"unknown path {request.path!r}")
+        for method, path, fn in table:
+            if path == request.path and method == request.method:
+                return await fn(request)
+        return 405, protocol.error_envelope(
+            f"{request.method} not allowed on {request.path}")
+
+    def _route_table(self):
+        return (
+            ("POST", "/v1/score", self._handle_score),
+            ("POST", "/v1/compare", self._handle_compare),
+            ("POST", "/v1/subset", self._handle_subset),
+            ("GET", "/v1/metrics", self._handle_metrics),
+            ("GET", "/v1/health", self._handle_health),
+            ("POST", "/v1/shutdown", self._handle_shutdown),
+        )
+
+    async def _run_scoring(self, fn, *args):
+        """Run one synchronous scoring job on the dedicated engine
+        thread (the funnel that serializes all kernel work)."""
+        if self._shutdown.is_set():
+            raise RequestError("service is shutting down")
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._scoring, fn, *args)
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def _handle_score(self, request):
+        payload = request.json()
+        suite = _require_suite(payload.get("suite"))
+        focus = _require_focus(payload.get("focus", "all"))
+        card = await self._run_scoring(self._score_sync, suite, focus)
+        return 200, protocol.ok_envelope(protocol.encode_scorecard(card))
+
+    async def _handle_compare(self, request):
+        payload = request.json()
+        suites = payload.get("suites")
+        if not isinstance(suites, list) or len(suites) < 2:
+            raise RequestError("'suites' must list at least two suites")
+        suites = [_require_suite(s) for s in suites]
+        focus = _require_focus(payload.get("focus", "all"))
+        comparison = await self._run_scoring(self._compare_sync,
+                                             suites, focus)
+        return 200, protocol.ok_envelope(
+            protocol.encode_comparison(comparison))
+
+    async def _handle_subset(self, request):
+        payload = request.json()
+        suite = _require_suite(payload.get("suite"))
+        size = payload.get("size", 8)
+        if not isinstance(size, int) or size < 1:
+            raise RequestError(f"'size' must be a positive int, got "
+                               f"{size!r}")
+        search = payload.get("search")
+        if search is not None and (not isinstance(search, int)
+                                   or search < 1):
+            raise RequestError(f"'search' must be a positive int, got "
+                               f"{search!r}")
+        method = payload.get("method", "lhs")
+        if method not in _SEARCH_METHODS:
+            raise RequestError(f"unknown method {method!r}; expected one "
+                               f"of {list(_SEARCH_METHODS)}")
+        kind, result = await self._run_scoring(
+            self._subset_sync, suite, size, search, method)
+        if kind == "search":
+            encoded = protocol.encode_search_result(result)
+        else:
+            encoded = protocol.encode_subset_report(result)
+        encoded["kind"] = kind
+        return 200, protocol.ok_envelope(encoded)
+
+    async def _handle_metrics(self, request):
+        snapshot = self.metrics.snapshot()
+        return 200, protocol.ok_envelope({
+            "values": snapshot.as_dict(),
+            "kinds": dict(snapshot.kinds),
+            "cache_entries": len(self.engine.cache),
+        })
+
+    async def _handle_health(self, request):
+        return 200, protocol.ok_envelope({
+            "status": "ok",
+            "suites": list(available_suites()),
+            "workers": self.engine.workers,
+            "cache_enabled": self.engine.cache.enabled,
+            "cache_dir": self.engine.cache_dir,
+            "requests": self._requests.value,
+            "inflight": self._active,
+        })
+
+    async def _handle_shutdown(self, request):
+        # The response is written by the connection handler *after*
+        # this returns; server.close() only stops new accepts, so the
+        # goodbye still reaches the peer before the drain completes.
+        self._shutdown.set()
+        return 200, protocol.ok_envelope({"status": "shutting down"})
+
+    # -- synchronous scoring jobs (run on the scoring thread) --------------
+
+    def _score_sync(self, suite, focus):
+        from repro.experiments.runner import measure_suites, perspector_for
+
+        matrix = measure_suites([suite], self.config)[suite]
+        perspector = perspector_for(self.config, engine=self.engine)
+        return perspector.score(matrix, focus=focus)
+
+    def _compare_sync(self, suites, focus):
+        from repro.experiments.runner import measure_suites, perspector_for
+
+        matrices = measure_suites(suites, self.config)
+        perspector = perspector_for(self.config, engine=self.engine)
+        return perspector.compare(*[matrices[s] for s in suites],
+                                  focus=focus)
+
+    def _subset_sync(self, suite, size, search, method):
+        from repro.core.subset import LHSSubsetGenerator
+        from repro.engine import SubsetEvaluator, SubsetSearch
+        from repro.experiments.runner import measure_suites
+
+        matrix = measure_suites([suite], self.config)[suite]
+        if search:
+            evaluator = SubsetEvaluator(
+                matrix, seed=self.config.metric_seed, engine=self.engine,
+            )
+            result = SubsetSearch(
+                matrix, size, seed=self.config.metric_seed,
+                evaluator=evaluator,
+            ).search(search, method=method)
+            return "search", result
+        report = LHSSubsetGenerator(
+            subset_size=size, seed=self.config.metric_seed,
+        ).report(matrix, seed=self.config.metric_seed, engine=self.engine)
+        return "report", report
+
+
+class ServiceThread:
+    """A :class:`ScoringService` on a daemon thread -- the harness the
+    tests and ``repro.qa.service_check`` drive real HTTP traffic
+    against without a subprocess.
+
+    ``start()`` blocks until the listener is bound (so :attr:`port` is
+    valid); stop it by POSTing ``/v1/shutdown`` (e.g.
+    :meth:`~repro.service.client.ServiceClient.shutdown`) and then
+    :meth:`join`.
+    """
+
+    def __init__(self, config, host=DEFAULT_HOST, port=0):
+        self.service = ScoringService(config, host=host, port=port)
+        self.error = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True,
+        )
+
+    def _run(self):
+        try:
+            asyncio.run(self.service.serve(on_ready=self._ready.set))
+        except BaseException as exc:  # qa-ignore[overbroad-except]
+            # Surfaced to the starter / joiner; a daemon thread must
+            # not die silently mid-test.
+            self.error = exc
+            self._ready.set()
+
+    def start(self, timeout=30.0):
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("service did not come up in time")
+        if self.error is not None:
+            raise RuntimeError(f"service failed to start: {self.error!r}")
+        return self
+
+    @property
+    def host(self):
+        return self.service.host
+
+    @property
+    def port(self):
+        return self.service.bound_port
+
+    def join(self, timeout=30.0):
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("service did not shut down in time")
+        if self.error is not None:
+            raise RuntimeError(f"service died: {self.error!r}")

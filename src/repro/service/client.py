@@ -1,0 +1,104 @@
+"""Blocking client for the scoring daemon.
+
+One small wrapper over :mod:`http.client` -- no new dependencies, one
+connection per call (the server speaks ``Connection: close``), JSON in
+and out, protocol-version checked. Used by the ``repro client``
+subcommand, the service tests, and ``repro.qa.service_check``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.service.app import DEFAULT_HOST, DEFAULT_PORT
+from repro.service.protocol import PROTOCOL_VERSION, decode_scorecard
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx (or protocol-incompatible) response from the daemon."""
+
+    def __init__(self, status, message):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to one running :class:`~repro.service.app.ScoringService`.
+
+    Parameters
+    ----------
+    host / port:
+        Where the daemon listens (defaults match ``repro serve``).
+    timeout:
+        Socket timeout per request, seconds. Scoring a cold full-preset
+        suite takes a while; the default is generous.
+    """
+
+    def __init__(self, host=DEFAULT_HOST, port=DEFAULT_PORT,
+                 timeout=600.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method, path, payload=None):
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout,
+        )
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            status = response.status
+            raw = response.read()
+        finally:
+            connection.close()
+        try:
+            envelope = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ServiceError(status, f"undecodable response body "
+                                       f"({raw[:200]!r})")
+        if envelope.get("protocol") != PROTOCOL_VERSION:
+            raise ServiceError(status, f"protocol mismatch: server spoke "
+                                       f"{envelope.get('protocol')!r}, "
+                                       f"client speaks {PROTOCOL_VERSION}")
+        if status >= 400 or not envelope.get("ok"):
+            raise ServiceError(status, envelope.get("error", "unknown"))
+        return envelope["result"]
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self):
+        return self._request("GET", "/v1/health")
+
+    def metrics(self):
+        return self._request("GET", "/v1/metrics")
+
+    def score(self, suite, focus="all"):
+        """The raw ``/v1/score`` result payload."""
+        return self._request("POST", "/v1/score",
+                             {"suite": suite, "focus": focus})
+
+    def score_card(self, suite, focus="all"):
+        """The served scorecard decoded back to floats from its bit
+        patterns (:class:`~repro.service.protocol.ServedScorecard`)."""
+        return decode_scorecard(self.score(suite, focus=focus))
+
+    def compare(self, suites, focus="all"):
+        return self._request("POST", "/v1/compare",
+                             {"suites": list(suites), "focus": focus})
+
+    def subset(self, suite, size=8, search=None, method="lhs"):
+        payload = {"suite": suite, "size": size, "method": method}
+        if search is not None:
+            payload["search"] = search
+        return self._request("POST", "/v1/subset", payload)
+
+    def shutdown(self):
+        """Ask the daemon to drain and stop."""
+        return self._request("POST", "/v1/shutdown")

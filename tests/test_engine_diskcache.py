@@ -177,6 +177,33 @@ class TestEviction:
         assert cache.get(key) == 2.0
         assert os.stat(cache._path(key)).st_mtime > before
 
+    def test_reput_touches_entry_for_lru(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = _key("retouch")
+        cache.put(key, 2.0)
+        os.utime(cache._path(key), (1, 1))
+        before = os.stat(cache._path(key)).st_mtime
+        assert not cache.put(key, 2.0)  # still no rewrite...
+        assert cache.writes == 1
+        assert os.stat(cache._path(key)).st_mtime > before  # ...but a use
+
+    def test_reput_protects_hot_entry_from_eviction(self, tmp_path):
+        # A key recomputed (and re-put) by a second process is hot and
+        # must outlive an entry nobody has used since it was written.
+        cache = DiskCache(tmp_path)
+        hot, cold = _key("hot"), _key("cold")
+        cache.put(hot, np.ones(128))
+        cache.put(cold, np.ones(128) * 2)
+        os.utime(cache._path(hot), (1, 1))  # hot is the older file...
+        os.utime(cache._path(cold), (2, 2))
+        assert not cache.put(hot, np.ones(128))  # ...but just re-put
+        size = os.path.getsize(cache._path(hot))
+        cache.max_bytes = int(size * 2.5)  # a third entry overflows
+        cache.put(_key("third"), np.ones(128) * 3)
+        assert cache.evictions == 1
+        assert cache.get(hot) is not MISS
+        assert cache.get(cold) is MISS
+
 
 class TestKernelCacheIntegration:
     def test_memory_miss_falls_through_to_disk(self, tmp_path):

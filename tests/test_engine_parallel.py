@@ -32,6 +32,10 @@ def _raise_task(flag):
     return os.getpid()
 
 
+def _exit_task(_i):
+    os._exit(13)  # hard-kill the worker: simulates an OOM/segfault death
+
+
 class TestPoolLifecycle:
     def test_start_method_pinned_to_spawn(self):
         assert START_METHOD == "spawn"
@@ -66,6 +70,29 @@ class TestPoolLifecycle:
             after = set(ex.map(_pid_task, [(i,) for i in range(8)]))
             assert ex._pool is pool  # pool survived the task exception
         assert after <= pool_pids  # served by the same workers
+
+    def test_worker_death_counts_pool_broken_persistent(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        with ParallelExecutor(workers=2) as ex:
+            with pytest.raises(BrokenProcessPool):
+                ex.map(_exit_task, [(i,) for i in range(8)])
+            assert ex.metrics.counter("pool_broken").value == 1
+            assert ex._pool is None  # disposed: next call starts fresh
+            assert os.getpid() not in set(
+                ex.map(_pid_task, [(i,) for i in range(8)])
+            )
+
+    def test_worker_death_counts_pool_broken_non_persistent(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        with ParallelExecutor(workers=2, persistent=False) as ex:
+            with pytest.raises(BrokenProcessPool):
+                ex.map(_exit_task, [(i,) for i in range(8)])
+            # metrics parity with the persistent arm: the crash is
+            # counted even though the with-block disposed the pool
+            assert ex.metrics.counter("pool_broken").value == 1
+            assert ex.metrics.counter("pool_created").value == 1
 
     def test_close_is_idempotent_and_context_manager_closes(self):
         ex = ParallelExecutor(workers=2)

@@ -51,6 +51,40 @@ class TestRegistry:
         with pytest.raises(TypeError, match="already registered"):
             registry.gauge("hits")
 
+    def test_histogram_rejected_when_expansion_name_taken(self):
+        # Previously this collision was silent: the counter's value
+        # vanished under the histogram's `lat_count` expansion in
+        # snapshot(). Now the registration itself is the error.
+        registry = MetricsRegistry()
+        registry.counter("lat_count")
+        with pytest.raises(ValueError, match="expand"):
+            registry.histogram("lat")
+
+    def test_instrument_rejected_on_histogram_expansion_name(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat")
+        with pytest.raises(ValueError, match="collides"):
+            registry.counter("lat_count")
+        with pytest.raises(ValueError, match="collides"):
+            registry.gauge("lat_min")
+
+    def test_reserved_suffixes_fine_without_histogram_base(self):
+        registry = MetricsRegistry()
+        registry.counter("lat_count")  # no histogram 'lat' exists
+        registry.gauge("depth_max")    # no histogram 'depth' exists
+        registry.histogram("wait")
+        registry.counter("wait_total")  # not a reserved suffix
+        assert len(registry) == 4
+
+    def test_two_histograms_may_share_expansion_names(self):
+        # Histograms never collide with each other: 'lat' expanding to
+        # 'lat_count' and a histogram literally named 'lat_count' are
+        # both well-defined in the snapshot.
+        registry = MetricsRegistry()
+        registry.histogram("lat")
+        registry.histogram("lat_count")
+        assert len(registry) == 2
+
     def test_contains_and_len(self):
         registry = MetricsRegistry()
         registry.counter("a")

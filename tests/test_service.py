@@ -1,0 +1,276 @@
+"""Tests for the scoring daemon: wire-protocol round-trips, per-endpoint
+request/response behaviour, concurrent-session bit-identity, warm-cache
+metrics movement, and graceful-shutdown leak checks."""
+
+import http.client
+import json
+import threading
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.engine.diskcache import stale_artifacts
+from repro.engine.shm import leaked_segments
+from repro.experiments.runner import ExperimentConfig
+from repro.qa.determinism import diff_scorecards
+from repro.service import (
+    ServiceClient,
+    ServiceError,
+    ServiceThread,
+    decode_scorecard,
+    encode_scorecard,
+)
+from repro.service.protocol import (
+    ServedCoverage,
+    ServedDetail,
+    bits_float,
+    float_bits,
+)
+
+
+class TestProtocol:
+    def test_float_bits_round_trip_awkward_values(self):
+        import struct
+
+        for value in (0.0, -0.0, 0.1 + 0.2, float("nan"), float("inf"),
+                      float("-inf"), np.nextafter(1.0, 2.0)):
+            out = bits_float(float_bits(value))
+            assert struct.pack("<d", out) == struct.pack("<d", value)
+
+    def test_scorecard_encode_decode_is_bit_exact(self):
+        from repro.core.report import SuiteScorecard
+
+        card = SuiteScorecard(
+            suite_name="wire", focus="all",
+            cluster=0.1 + 0.2, trend=float("nan"), coverage=-0.0,
+            spread=1e-300,
+            details={
+                "cluster": ServedDetail(per_k={2: 0.25, 3: float("nan")}),
+                "trend": ServedDetail(per_event={"ipc": 1.5,
+                                                 "llc_miss": -0.75}),
+                "spread": ServedDetail(per_item={"w0": 0.125}),
+                "coverage": ServedCoverage(
+                    n_components=2,
+                    component_variances=np.array([0.9, 0.1 + 0.2]),
+                ),
+                "engine": {"cache_hits": 3},
+            },
+        )
+        served = decode_scorecard(
+            json.loads(json.dumps(encode_scorecard(card)))
+        )
+        assert diff_scorecards(card, served) == []
+        assert served.rendered == str(card)
+        assert served.details["engine"] == {"cache_hits": 3}
+
+    def test_decode_tolerates_missing_details(self):
+        payload = {
+            "suite": "s", "focus": "all",
+            "score_bits": {name: float_bits(float("nan"))
+                           for name in ("cluster", "trend", "coverage",
+                                        "spread")},
+            "rendered": "s [all] ...",
+        }
+        served = decode_scorecard(payload)
+        assert served.details == {}
+        assert np.isnan(served.cluster)
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    """One quick-preset daemon shared by the endpoint tests; torn down
+    gracefully with leak checks in the teardown."""
+    cache_dir = str(tmp_path_factory.mktemp("service-cache"))
+    config = replace(ExperimentConfig.quick(), cache_dir=cache_dir)
+    thread = ServiceThread(config).start()
+    client = ServiceClient(host=thread.host, port=thread.port)
+    yield config, client
+    client.shutdown()
+    thread.join()
+    assert leaked_segments() == []
+    assert stale_artifacts(cache_dir) == []
+
+
+def _cli_card(config, suite, focus="all"):
+    """The one-shot scoring path the daemon must reproduce."""
+    from repro.engine import Engine
+    from repro.experiments.runner import measure_suites, perspector_for
+
+    matrix = measure_suites([suite], config)[suite]
+    with Engine.from_config(config) as engine:
+        return perspector_for(config, engine=engine).score(matrix,
+                                                           focus=focus)
+
+
+class TestEndpoints:
+    def test_health_reports_engine_configuration(self, service):
+        config, client = service
+        health = client.health()
+        assert health["status"] == "ok"
+        assert "nbench" in health["suites"]
+        assert health["workers"] == 1
+        assert health["cache_dir"] == config.cache_dir
+
+    def test_score_round_trip_is_bit_identical_to_cli(self, service):
+        config, client = service
+        served = client.score_card("nbench")
+        card = _cli_card(config, "nbench")
+        assert diff_scorecards(card, served) == []
+        assert served.rendered == str(card)
+
+    def test_score_honors_focus(self, service):
+        config, client = service
+        served = client.score_card("nbench", focus="llc")
+        assert served.focus == "llc"
+        card = _cli_card(config, "nbench", focus="llc")
+        assert diff_scorecards(card, served) == []
+
+    def test_warm_second_request_moves_cache_hit_counters(self, service):
+        _config, client = service
+        client.score("nbench")  # ensure at least one pass happened
+        before = client.metrics()["values"]
+        client.score("nbench")
+        after = client.metrics()["values"]
+        assert after["cache_hits"] > before["cache_hits"]
+        assert after["service_requests"] > before["service_requests"]
+
+    def test_compare_round_trip(self, service):
+        config, client = service
+        result = client.compare(["nbench", "lmbench"])
+        assert [c["suite"] for c in result["scorecards"]] == \
+            ["nbench", "lmbench"]
+        from repro.experiments.runner import measure_suites, perspector_for
+
+        matrices = measure_suites(["nbench", "lmbench"], config)
+        comparison = perspector_for(config).compare(
+            matrices["nbench"], matrices["lmbench"], focus="all",
+        )
+        assert result["rendered"] == comparison.table()
+        for wire, card in zip(result["scorecards"],
+                              comparison.scorecards):
+            assert diff_scorecards(card, decode_scorecard(wire)) == []
+
+    def test_subset_report_round_trip(self, service):
+        _config, client = service
+        result = client.subset("nbench", size=4)
+        assert result["kind"] == "report"
+        assert len(result["selected"]) == 4
+        assert result["rendered"]
+
+    def test_subset_search_round_trip(self, service):
+        _config, client = service
+        result = client.subset("nbench", size=4, search=2,
+                               method="random")
+        assert result["kind"] == "search"
+        assert result["method"] == "random"
+        assert result["n_evaluated"] == 2
+        assert len(result["best"]["selected"]) == 4
+
+    def test_concurrent_sessions_get_identical_bytes(self, service):
+        _config, client = service
+        outcomes = [None] * 4
+
+        def _one(i):
+            outcomes[i] = client.score("nbench")["rendered"]
+
+        threads = [threading.Thread(target=_one, args=(i,))
+                   for i in range(len(outcomes))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(outcomes)) == 1
+        assert outcomes[0] is not None
+
+
+class TestErrors:
+    def test_unknown_suite_is_400(self, service):
+        _config, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.score("no-such-suite")
+        assert excinfo.value.status == 400
+        assert "unknown suite" in excinfo.value.message
+
+    def test_compare_needs_two_suites(self, service):
+        _config, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.compare(["nbench"])
+        assert excinfo.value.status == 400
+
+    def test_unknown_path_is_404(self, service):
+        _config, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/v1/nope")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_is_405(self, service):
+        _config, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/v1/score")
+        assert excinfo.value.status == 405
+
+    def test_malformed_json_body_is_400(self, service):
+        _config, client = service
+        connection = http.client.HTTPConnection(client.host, client.port,
+                                                timeout=30.0)
+        try:
+            connection.request(
+                "POST", "/v1/score", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read().decode("utf-8"))
+        finally:
+            connection.close()
+        assert response.status == 400
+        assert payload["ok"] is False
+
+    def test_invalid_subset_size_is_400(self, service):
+        _config, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.subset("nbench", size=0)
+        assert excinfo.value.status == 400
+
+
+class TestShutdown:
+    def test_graceful_shutdown_leaves_no_leaks(self, tmp_path):
+        """A dedicated daemon (fanned workers + shm forced on, so pool
+        and segments really exist) must drain, answer the goodbye, and
+        leave /dev/shm and the cache dir clean."""
+        config = replace(ExperimentConfig.quick(), workers=2,
+                         cache_dir=str(tmp_path))
+        thread = ServiceThread(config)
+        thread.service.engine.executor.shm_min_bytes = 0
+        thread.start()
+        client = ServiceClient(host=thread.host, port=thread.port)
+        rendered = client.score("nbench")["rendered"]
+        assert rendered
+        reply = client.shutdown()
+        assert reply["status"] == "shutting down"
+        thread.join()
+        import gc
+
+        gc.collect()
+        assert leaked_segments() == []
+        assert stale_artifacts(str(tmp_path)) == []
+        # The daemon is really gone: new connections are refused.
+        with pytest.raises(OSError):
+            client.health()
+
+    def test_serial_and_fanned_daemons_serve_identical_bits(self,
+                                                            tmp_path):
+        """Worker count is invisible in served bytes (the engine
+        invariance contract, through HTTP)."""
+        rendered = {}
+        for workers in (1, 2):
+            config = replace(ExperimentConfig.quick(), workers=workers,
+                             cache_dir=str(tmp_path))
+            thread = ServiceThread(config).start()
+            client = ServiceClient(host=thread.host, port=thread.port)
+            try:
+                rendered[workers] = client.score("nbench")["rendered"]
+            finally:
+                client.shutdown()
+                thread.join()
+        assert rendered[1] == rendered[2]
