@@ -9,15 +9,17 @@
 # `make bench` includes the engine's cold-vs-warm cache bench, the
 # subset evaluator's sliced-vs-naive bench, the warm-substrate
 # bench (persistent pool vs pool-per-call + disk-cold vs disk-warm
-# CLI), and the tracing-overhead bench, guarded by the
-# BENCH_engine.json / BENCH_subset.json / BENCH_parallel.json /
-# BENCH_obs.json baselines.
+# CLI), the tracing-overhead bench, and the vectorized-vs-reference
+# kernel bench (banded all-pairs DTW >= 5x, mixed-length bucketed
+# >= 3x, all bit-identical), guarded by the BENCH_engine.json /
+# BENCH_subset.json / BENCH_parallel.json / BENCH_obs.json /
+# BENCH_kernels.json baselines.
 
 PYTHON ?= python
 RUN = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
 
 .PHONY: qa lint lint-deep ruff mypy determinism serve-smoke test bench \
-	bench-engine bench-subset bench-parallel bench-obs
+	bench-engine bench-subset bench-parallel bench-obs bench-kernels
 
 qa: lint lint-deep ruff mypy determinism serve-smoke
 	@echo "qa: all gates passed"
@@ -55,7 +57,7 @@ serve-smoke:
 test:
 	$(RUN) -m pytest -x -q
 
-bench: bench-engine bench-subset bench-parallel bench-obs
+bench: bench-engine bench-subset bench-parallel bench-obs bench-kernels
 	$(RUN) -m pytest benchmarks -q
 
 bench-engine:
@@ -69,3 +71,6 @@ bench-parallel:
 
 bench-obs:
 	$(RUN) -m repro.obs.bench --check
+
+bench-kernels:
+	$(RUN) -m repro.stats.kernel_bench --check

@@ -9,7 +9,7 @@
     perspector experiment fig1|fig2|fig3|fig4|fig5|fig6|subset|mux|ablations
     perspector lint [--deep] [--format text|json] [paths ...]
     perspector analyze effects <symbol> [--root DIR]
-    perspector qa [--seed N] [--serve]
+    perspector qa [--seed N] [--backend NAME] [--serve]
     perspector obs summary TRACE [--top N]
     perspector serve [--host H] [--port P] [--workers N ...]
     perspector client score <suite> [--host H] [--port P]
@@ -18,9 +18,11 @@ Scoring commands run the simulation stack end-to-end; ``--quick``
 switches to the short-trace preset. ``score``, ``compare``, ``subset``
 and ``experiment`` accept ``--workers N`` (fan scoring across a
 persistent spawn worker pool), ``--no-cache`` (disable the engine's
-kernel cache) and ``--cache-dir DIR`` / ``$REPRO_CACHE_DIR`` (persist
+kernel cache), ``--cache-dir DIR`` / ``$REPRO_CACHE_DIR`` (persist
 measured suites and kernel results on disk, so repeat invocations
-start warm); none of the three changes any output bit. ``lint`` runs
+start warm) and ``--backend NAME`` / ``$REPRO_BACKEND`` (the compute
+backend for the DTW / KS hot paths: ``reference`` or ``vectorized``);
+none of the four changes any output bit. ``lint`` runs
 the project's static-analysis pass (:mod:`repro.qa.lint`); with
 ``--deep`` it adds the whole-program contract rules (cache-purity,
 pool-safety, shm-readonly -- :mod:`repro.qa.flow`) and ``--format
@@ -89,6 +91,7 @@ def _config(args, default_preset=ExperimentConfig.full):
         workers=getattr(args, "workers", 1),
         cache=not getattr(args, "no_cache", False),
         cache_dir=getattr(args, "cache_dir", None),
+        backend=getattr(args, "backend", None),
     )
 
 
@@ -183,6 +186,8 @@ def _cmd_qa(args):
             "--workers", str(args.workers)]
     if args.full:
         argv.append("--full")
+    if args.backend:
+        argv.extend(["--backend", args.backend])
     status = determinism_main(argv)
     if args.serve:
         # The service determinism variant: a daemon-served scorecard
@@ -190,7 +195,10 @@ def _cmd_qa(args):
         # hit the shared caches, shutdown must leak nothing.
         from repro.qa.service_check import main as service_main
 
-        status = max(status, service_main([]))
+        serve_argv = []
+        if args.backend:
+            serve_argv = ["--backend", args.backend]
+        status = max(status, service_main(serve_argv))
     return status
 
 
@@ -310,6 +318,15 @@ def _add_engine_flags(p):
              "(default: $REPRO_CACHE_DIR if set, else memory-only; "
              "results are bit-identical either way)",
     )
+    from repro.stats.backend import available_backends
+
+    p.add_argument(
+        "--backend", choices=available_backends(),
+        default=os.environ.get("REPRO_BACKEND") or None,
+        help="compute backend for the DTW / KS hot paths (default: "
+             "$REPRO_BACKEND if set, else reference; every backend is "
+             "bit-identical to the reference kernels)",
+    )
 
 
 def build_parser():
@@ -421,6 +438,15 @@ def build_parser():
         "--workers", type=int, default=1, metavar="N",
         help="also check engine invariance at this worker count "
              "(scorecards must be bit-identical to the serial path)",
+    )
+    from repro.stats.backend import available_backends
+
+    p_qa.add_argument(
+        "--backend", choices=available_backends(),
+        default=os.environ.get("REPRO_BACKEND") or None,
+        help="also cross-check this compute backend's scorecards "
+             "bit-for-bit against the reference backend on every "
+             "variant (default: $REPRO_BACKEND if set)",
     )
     p_qa.add_argument(
         "--serve", action="store_true",

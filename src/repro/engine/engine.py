@@ -18,12 +18,14 @@ capabilities without changing a single output bit:
   worker count -- a property ``repro.qa.determinism`` checks.
 
 Determinism-under-caching hinges on one kernel-selection rule: a given
-(series pair, band) is always computed by the same code path. For
-equal-length 1-D series that path is the batched wavefront
-(:func:`repro.stats.dtw.batched_pair_distances`), whose per-pair results
-are independent of how pairs are batched; everything else uses
-:func:`repro.stats.dtw.dtw_distance`. Mixing cached and fresh pairs is
-therefore safe.
+(series pair, band) always yields the same bits whatever code path
+computes it. The engine dispatches DTW pairs and the per-column KS
+statistics through a :class:`~repro.stats.backend.ComputeBackend`
+(``reference`` | ``vectorized``, resolved by
+:func:`repro.stats.backend.resolve_backend`); every registered backend
+is bit-identical to the reference kernels, so mixing cached and fresh
+pairs is safe and cache keys never mention the backend -- a property
+``repro qa --backend vectorized`` cross-checks end to end.
 """
 
 from __future__ import annotations
@@ -49,19 +51,17 @@ from repro.engine.cache import (
 from repro.engine.parallel import ParallelExecutor
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import span
+from repro.stats.backend import get_backend, resolve_backend
 from repro.stats.distance import pairwise_distances
-from repro.stats.dtw import (
-    batched_pair_distances,
-    dtw_distance,
-    validate_series_list,
-)
+from repro.stats.dtw import validate_series_list
 from repro.stats.kmeans import KMeans
 
 
 # -- worker tasks (top-level so they pickle) --------------------------------
 
 
-def _trend_event_task(series_list, n_points, band, normalize, cdf):
+def _trend_event_task(series_list, n_points, band, normalize, cdf,
+                      backend="reference"):
     """Normalize one event's series set (optionally) and compute its
     pairwise DTW matrix. Pure: returns everything it computed."""
     arrays = [np.asarray(s, dtype=float) for s in series_list]
@@ -69,28 +69,21 @@ def _trend_event_task(series_list, n_points, band, normalize, cdf):
         norm = normalize_series_set(arrays, n_points=n_points, cdf=cdf)
     else:
         norm = validate_series_list(arrays)
-    return norm, _dtw_matrix_direct(norm, band)
+    return norm, _dtw_matrix_direct(norm, band, backend=backend)
 
 
-def _dtw_matrix_direct(arrays, band):
+def _dtw_matrix_direct(arrays, band, backend="reference"):
     """The plain (cache-free) pairwise DTW matrix over validated arrays,
-    via the same kernels the cached assembly path uses."""
+    via the same backend kernels the cached assembly path uses."""
     arrays = validate_series_list(arrays)
     n = len(arrays)
     out = np.zeros((n, n))
     if n < 2:
         return out
-    if _fast_path(arrays, band):
-        idx_i, idx_j = np.triu_indices(n, k=1)
-        totals = batched_pair_distances(np.vstack(arrays), idx_i, idx_j)
-        out[idx_i, idx_j] = totals
-        out[idx_j, idx_i] = totals
-        return out
-    for i in range(n):
-        for j in range(i + 1, n):
-            d = dtw_distance(arrays[i], arrays[j], band=band)
-            out[i, j] = d
-            out[j, i] = d
+    idx_i, idx_j = np.triu_indices(n, k=1)
+    totals = get_backend(backend).pair_distances(arrays, idx_i, idx_j, band)
+    out[idx_i, idx_j] = totals
+    out[idx_j, idx_i] = totals
     return out
 
 
@@ -100,23 +93,15 @@ def _kmeans_task(x, k, seed, n_restarts):
 
 
 def _score_matrix_task(matrix, config, focus_value, normalize, cache,
-                       cache_dir=None):
+                       cache_dir=None, backend="reference"):
     """Score one suite matrix in a worker with a fresh single-process
     engine -- the same code path the serial loop runs. The worker
     shares the owner's disk tier (atomic renames make concurrent
     writers safe), so its kernel results warm later runs too."""
-    engine = Engine(cache=cache, workers=1, cache_dir=cache_dir)
+    engine = Engine(cache=cache, workers=1, cache_dir=cache_dir,
+                    backend=backend)
     return engine.score_matrix(matrix, config, focus_value,
                                normalize=normalize)
-
-
-def _fast_path(arrays, band):
-    """Whether the batched equal-length 1-D wavefront kernel applies."""
-    return (
-        band is None
-        and all(a.ndim == 1 for a in arrays)
-        and len({a.shape[0] for a in arrays}) == 1
-    )
 
 
 class Engine:
@@ -149,11 +134,20 @@ class Engine:
     persistent_pool:
         ``False`` restores the pool-per-call lifecycle; exists only for
         the ``BENCH_parallel.json`` comparison arm.
+    backend:
+        Compute-backend name (``"reference"`` | ``"vectorized"``) or a
+        :class:`~repro.stats.backend.ComputeBackend`; ``None`` resolves
+        via ``$REPRO_BACKEND`` then the reference default. Backends are
+        bit-identical, so this is purely a speed knob and cache keys
+        never include it.
     """
 
     def __init__(self, cache=True, workers=1, max_entries=None,
                  cache_dir=None, disk_max_bytes=None, shm_min_bytes=None,
-                 persistent_pool=True):
+                 persistent_pool=True, backend=None):
+        #: The active ComputeBackend the DTW / KS hot paths dispatch
+        #: through (bit-identical across backends by contract).
+        self.backend = resolve_backend(backend)
         #: One registry for every counter across the engine's layers --
         #: kernel cache, disk tier, shm transport, worker pool.
         #: ``details['engine']`` is a ``snapshot().delta()`` view over it.
@@ -198,7 +192,8 @@ class Engine:
         :class:`~repro.experiments.runner.ExperimentConfig`)."""
         return cls(cache=getattr(config, "cache", True),
                    workers=getattr(config, "workers", 1),
-                   cache_dir=getattr(config, "cache_dir", None))
+                   cache_dir=getattr(config, "cache_dir", None),
+                   backend=getattr(config, "backend", None))
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -285,22 +280,12 @@ class Engine:
         values = [self.cache.lookup(k, disk=False) for k in pkeys]
         missing = [p for p, v in enumerate(values) if v is MISS]
         if missing:
-            if _fast_path(arrays, band):
-                x = np.vstack(arrays)
-                idx_i = np.array([pairs[p][0] for p in missing])
-                idx_j = np.array([pairs[p][1] for p in missing])
-                fresh = batched_pair_distances(x, idx_i, idx_j)
-                for p, value in zip(missing, fresh):
-                    values[p] = self.cache.put(pkeys[p], float(value),
-                                               disk=False)
-            else:
-                for p in missing:
-                    i, j = pairs[p]
-                    values[p] = self.cache.put(
-                        pkeys[p],
-                        dtw_distance(arrays[i], arrays[j], band=band),
-                        disk=False,
-                    )
+            idx_i = np.array([pairs[p][0] for p in missing])
+            idx_j = np.array([pairs[p][1] for p in missing])
+            fresh = self.backend.pair_distances(arrays, idx_i, idx_j, band)
+            for p, value in zip(missing, fresh):
+                values[p] = self.cache.put(pkeys[p], float(value),
+                                           disk=False)
         self._pair_digests.update(digests)
         for (i, j), value in zip(pairs, values):
             out[i, j] = value
@@ -316,12 +301,9 @@ class Engine:
         value = self.cache.lookup(pkey, disk=False)
         if value is not MISS:
             return value
-        if _fast_path(arrays, band):
-            value = float(batched_pair_distances(
-                np.vstack(arrays), np.array([0]), np.array([1]),
-            )[0])
-        else:
-            value = dtw_distance(arrays[0], arrays[1], band=band)
+        value = float(self.backend.pair_distances(
+            arrays, np.array([0]), np.array([1]), band,
+        )[0])
         self._pair_digests.update(digests)
         return self.cache.put(pkey, value, disk=False)
 
@@ -385,7 +367,8 @@ class Engine:
         if pending:
             results = self.executor.map(
                 _trend_event_task,
-                [(tuple(arrays), n_points, band, do_norm, cdf)
+                [(tuple(arrays), n_points, band, do_norm, cdf,
+                  self.backend.name)
                  for (_event, arrays, _nkey, do_norm) in pending],
             )
             for (event, _arrays, nkey, _do_norm), (norm, dmatrix) in zip(
@@ -551,8 +534,11 @@ class Engine:
             cached = self._cached("spread-score", key)
             if cached is not MISS:
                 return cached
+            # The backend is deliberately absent from the key: backends
+            # are bit-identical, so the entry is shared across them.
             result = core_spread_score(matrix, normalize=normalize,
-                                       axis=axis, sampled=sampled, rng=rng)
+                                       axis=axis, sampled=sampled, rng=rng,
+                                       backend=self.backend)
             return self.cache.put(key, result)
 
     # -- suite-level scoring -----------------------------------------------
@@ -628,6 +614,6 @@ class Engine:
         return self.executor.map(
             _score_matrix_task,
             [(m, config, focus_value, normalize, self.cache.enabled,
-              self.cache_dir)
+              self.cache_dir, self.backend.name)
              for m in matrices],
         )

@@ -68,7 +68,6 @@ from repro.core.subset import (
 from repro.engine.cache import content_key
 from repro.engine.engine import Engine
 from repro.obs.trace import span
-from repro.stats.kstest import ks_statistic_uniform
 from repro.stats.preprocessing import minmax_normalize
 
 
@@ -175,10 +174,11 @@ class SubsetEvaluator:
             self._base = np.clip(base, 0.0, 1.0)
 
             # Eq. 14 is row-local: one KS D-value per workload row,
-            # reusable by every subset containing that row.
+            # reusable by every subset containing that row. Computed by
+            # the engine's backend (bit-identical whichever is active).
             self._row_spread = tuple(
-                float(ks_statistic_uniform(self._base[i]))
-                for i in range(matrix.n_workloads)
+                float(d)
+                for d in self.engine.backend.ks_columns(self._base.T)
             )
 
             self._events = list(matrix.series)

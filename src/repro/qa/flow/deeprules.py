@@ -24,6 +24,18 @@
     read-only views; the intra-procedural dataflow
     (:mod:`repro.qa.flow.dataflow`) reports every mutation funnel.
 
+``backend-purity``
+    Every function in :mod:`repro.stats.backend` is (or backs) a
+    dispatch target that pool tasks and the scoring daemon call by
+    name. They must all stay module-top-level (nested functions and
+    methods either fail to pickle under spawn or capture state the
+    registry promises not to carry) and transitively free of
+    ``WRITES_GLOBAL`` / ``RNG_UNSEEDED`` / ``CLOCK`` / ``IO`` -- an
+    effectful backend would make "which backend ran" observable, and
+    the whole registry contract is that it never is.
+    (``READS_GLOBAL`` is permitted: ``resolve_backend`` reads
+    ``$REPRO_BACKEND`` once at engine construction.)
+
 Every finding embeds the justifying call chain (who calls whom down to
 the intrinsic atom) so the report is actionable without re-running the
 analysis.
@@ -48,6 +60,12 @@ FORBIDDEN_CACHED = frozenset({WRITES_GLOBAL, RNG_UNSEEDED, CLOCK, IO})
 
 #: Effects a pool-submitted task may not carry.
 POOL_FORBIDDEN = frozenset({RNG_UNSEEDED, WRITES_GLOBAL})
+
+#: The compute-backend registry module held to dispatch purity.
+BACKEND_MODULE = "repro.stats.backend"
+
+#: Effects a backend dispatch function may not carry.
+BACKEND_FORBIDDEN = frozenset({WRITES_GLOBAL, RNG_UNSEEDED, CLOCK, IO})
 
 
 @dataclass(frozen=True)
@@ -74,6 +92,12 @@ DEEP_RULES = (
         "shm-readonly",
         "arrays attached from the shared-memory store must never be "
         "mutated in place",
+    ),
+    DeepRule(
+        "backend-purity",
+        "compute-backend dispatch functions must be module-top-level "
+        "and transitively free of global writes, unseeded RNG, clock "
+        "reads and IO",
     ),
 )
 
@@ -164,10 +188,43 @@ def check_shm_readonly(index):
     return findings
 
 
+def check_backend_purity(index, solver):
+    """Findings for every backend-registry function that is not a
+    clean module-top-level dispatch target."""
+    findings = []
+    for summary in index.modules.values():
+        if summary.module != BACKEND_MODULE:
+            continue
+        for fq, record in sorted(summary.functions.items()):
+            def flag(message):
+                findings.append(Finding(
+                    path=record.path, line=record.line, col=record.col,
+                    rule_id="backend-purity", message=message,
+                ))
+
+            if record.nested:
+                flag(f"nested function {fq} in the backend registry: "
+                     f"dispatch targets must be module-top-level so "
+                     f"spawn workers can import them by name")
+                continue
+            if record.cls is not None:
+                flag(f"method {fq} in the backend registry: dispatch "
+                     f"targets must be free functions, not methods "
+                     f"capturing an instance")
+                continue
+            bad = solver.effects(fq) & BACKEND_FORBIDDEN
+            for effect in sorted(bad):
+                chain = format_chain(solver.chain(fq, effect), effect)
+                flag(f"backend dispatch function {fq} carries {effect} "
+                     f"-- {chain}")
+    return findings
+
+
 def check_all(index, graph, solver):
     """Every deep finding for one analyzed project, sorted."""
     findings = []
     findings.extend(check_cache_purity(graph, solver))
     findings.extend(check_pool_safety(graph, solver))
     findings.extend(check_shm_readonly(index))
+    findings.extend(check_backend_purity(index, solver))
     return sorted(findings)

@@ -16,6 +16,12 @@ surface over HTTP/JSON (DESIGN.md section 12):
     ``{"suite": name, "size": 8, "search": N?, "method": "lhs"}`` --
     LHS subset report, or the multi-candidate sliced search when
     ``search`` is given; exactly ``repro subset``.
+
+The three scoring endpoints also accept an optional ``"backend"``
+field (``"reference"`` | ``"vectorized"``) selecting the compute
+backend for that one request; backends are bit-identical, so the
+response bytes never depend on it (``repro qa --serve --backend
+vectorized`` enforces that over real HTTP).
 ``GET /v1/metrics``
     Live :class:`~repro.obs.metrics.MetricsRegistry` snapshot of the
     shared engine (cache tiers, shm transport, pool lifecycle, service
@@ -51,6 +57,7 @@ import sys
 import threading
 import traceback
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 
 from repro.obs.trace import span
 from repro.service import http as service_http
@@ -82,6 +89,17 @@ def _require_focus(focus):
         raise RequestError(f"unknown focus {focus!r}; expected one of "
                            f"{list(_FOCUS_CHOICES)}")
     return focus
+
+
+def _require_backend(backend):
+    from repro.stats.backend import available_backends
+
+    if backend is None:
+        return None
+    if backend not in available_backends():
+        raise RequestError(f"unknown backend {backend!r}; expected one "
+                           f"of {list(available_backends())}")
+    return backend
 
 
 class ScoringService:
@@ -262,7 +280,9 @@ class ScoringService:
         payload = request.json()
         suite = _require_suite(payload.get("suite"))
         focus = _require_focus(payload.get("focus", "all"))
-        card = await self._run_scoring(self._score_sync, suite, focus)
+        backend = _require_backend(payload.get("backend"))
+        card = await self._run_scoring(self._score_sync, suite, focus,
+                                       backend)
         return 200, protocol.ok_envelope(protocol.encode_scorecard(card))
 
     async def _handle_compare(self, request):
@@ -272,8 +292,9 @@ class ScoringService:
             raise RequestError("'suites' must list at least two suites")
         suites = [_require_suite(s) for s in suites]
         focus = _require_focus(payload.get("focus", "all"))
+        backend = _require_backend(payload.get("backend"))
         comparison = await self._run_scoring(self._compare_sync,
-                                             suites, focus)
+                                             suites, focus, backend)
         return 200, protocol.ok_envelope(
             protocol.encode_comparison(comparison))
 
@@ -293,8 +314,9 @@ class ScoringService:
         if method not in _SEARCH_METHODS:
             raise RequestError(f"unknown method {method!r}; expected one "
                                f"of {list(_SEARCH_METHODS)}")
+        backend = _require_backend(payload.get("backend"))
         kind, result = await self._run_scoring(
-            self._subset_sync, suite, size, search, method)
+            self._subset_sync, suite, size, search, method, backend)
         if kind == "search":
             encoded = protocol.encode_search_result(result)
         else:
@@ -317,6 +339,7 @@ class ScoringService:
             "workers": self.engine.workers,
             "cache_enabled": self.engine.cache.enabled,
             "cache_dir": self.engine.cache_dir,
+            "backend": self.engine.backend.name,
             "requests": self._requests.value,
             "inflight": self._active,
         })
@@ -330,22 +353,50 @@ class ScoringService:
 
     # -- synchronous scoring jobs (run on the scoring thread) --------------
 
-    def _score_sync(self, suite, focus):
+    @contextmanager
+    def _backend_override(self, backend):
+        """Swap the shared engine's compute backend for one request.
+
+        Race-free despite the shared engine: every scoring job runs on
+        the single ``_scoring`` thread, so no two requests can hold the
+        engine at once. Bit-safe despite the swap: backends are
+        bit-identical and cache keys are backend-free, so the override
+        can never leak request-specific bits into the shared caches.
+        """
+        if backend is None:
+            yield
+            return
+        from repro.stats.backend import get_backend
+
+        saved = self.engine.backend
+        self.engine.backend = get_backend(backend)
+        try:
+            yield
+        finally:
+            self.engine.backend = saved
+
+    def _score_sync(self, suite, focus, backend=None):
         from repro.experiments.runner import measure_suites, perspector_for
 
-        matrix = measure_suites([suite], self.config)[suite]
-        perspector = perspector_for(self.config, engine=self.engine)
-        return perspector.score(matrix, focus=focus)
+        with self._backend_override(backend):
+            matrix = measure_suites([suite], self.config)[suite]
+            perspector = perspector_for(self.config, engine=self.engine)
+            return perspector.score(matrix, focus=focus)
 
-    def _compare_sync(self, suites, focus):
+    def _compare_sync(self, suites, focus, backend=None):
         from repro.experiments.runner import measure_suites, perspector_for
 
-        matrices = measure_suites(suites, self.config)
-        perspector = perspector_for(self.config, engine=self.engine)
-        return perspector.compare(*[matrices[s] for s in suites],
-                                  focus=focus)
+        with self._backend_override(backend):
+            matrices = measure_suites(suites, self.config)
+            perspector = perspector_for(self.config, engine=self.engine)
+            return perspector.compare(*[matrices[s] for s in suites],
+                                      focus=focus)
 
-    def _subset_sync(self, suite, size, search, method):
+    def _subset_sync(self, suite, size, search, method, backend=None):
+        with self._backend_override(backend):
+            return self._subset_job(suite, size, search, method)
+
+    def _subset_job(self, suite, size, search, method):
         from repro.core.subset import LHSSubsetGenerator
         from repro.engine import SubsetEvaluator, SubsetSearch
         from repro.experiments.runner import measure_suites

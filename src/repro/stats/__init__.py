@@ -12,8 +12,12 @@ implemented from first principles on top of numpy:
 * :mod:`repro.stats.pca` -- principal component analysis via SVD with a
   retained-variance cutoff.
 * :mod:`repro.stats.dtw` -- dynamic time warping with optional Sakoe-Chiba
-  band.
-* :mod:`repro.stats.kstest` -- one- and two-sample Kolmogorov-Smirnov tests.
+  band, including the batched pair kernels.
+* :mod:`repro.stats.kstest` -- one- and two-sample Kolmogorov-Smirnov tests,
+  including the column-batched one-sample kernel.
+* :mod:`repro.stats.backend` -- the pluggable compute-backend registry
+  (``reference`` | ``vectorized``) the engine dispatches the DTW / KS hot
+  paths through; every backend is bit-identical to the reference oracle.
 * :mod:`repro.stats.lhs` -- Latin hypercube sampling (plain and maximin).
 * :mod:`repro.stats.hierarchical` -- agglomerative clustering, used by the
   prior-work baseline.
@@ -44,12 +48,27 @@ from repro.stats.silhouette import (
     silhouette_score,
 )
 from repro.stats.pca import PCA, PCAResult, pca_fit_transform
-from repro.stats.dtw import dtw_distance, dtw_path, dtw_matrix
+from repro.stats.dtw import (
+    dtw_distance,
+    dtw_path,
+    dtw_matrix,
+    batched_pair_distances,
+    banded_pair_distances,
+    bucketed_pair_distances,
+)
 from repro.stats.kstest import (
     ks_statistic_uniform,
+    ks_statistic_uniform_columns,
+    kolmogorov_sf_batch,
     ks_test_uniform,
     ks_two_sample,
     KSResult,
+)
+from repro.stats.backend import (
+    ComputeBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
 )
 from repro.stats.lhs import latin_hypercube, maximin_latin_hypercube
 from repro.stats.hierarchical import (
@@ -90,10 +109,19 @@ __all__ = [
     "dtw_distance",
     "dtw_path",
     "dtw_matrix",
+    "batched_pair_distances",
+    "banded_pair_distances",
+    "bucketed_pair_distances",
     "ks_statistic_uniform",
+    "ks_statistic_uniform_columns",
+    "kolmogorov_sf_batch",
     "ks_test_uniform",
     "ks_two_sample",
     "KSResult",
+    "ComputeBackend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
     "latin_hypercube",
     "maximin_latin_hypercube",
     "HierarchicalClustering",

@@ -12,6 +12,10 @@ import numpy as np
 
 _SUPPORTED_METRICS = ("euclidean", "sqeuclidean", "manhattan", "chebyshev")
 
+# Row-axis chunk for the manhattan/chebyshev broadcast in cdist: caps the
+# materialized (chunk, m, d) tensor instead of the full (n, m, d) one.
+DEFAULT_ROW_CHUNK = 256
+
 
 def euclidean(a, b):
     """Euclidean distance between two vectors.
@@ -57,7 +61,7 @@ def _validate_matrix(x, name="x"):
     return x
 
 
-def cdist(a, b, metric="euclidean"):
+def cdist(a, b, metric="euclidean", row_chunk=DEFAULT_ROW_CHUNK):
     """Pairwise distances between the rows of two matrices.
 
     Parameters
@@ -68,6 +72,12 @@ def cdist(a, b, metric="euclidean"):
         Matrix of shape ``(m, d)``.
     metric:
         One of ``euclidean``, ``sqeuclidean``, ``manhattan``, ``chebyshev``.
+    row_chunk:
+        For ``manhattan`` / ``chebyshev``, the maximum rows of ``a``
+        whose ``(rows, m, d)`` broadcast tensor is materialized at once;
+        ``None`` disables chunking. Each output row depends only on its
+        own row of ``a`` and the reduction runs over the same contiguous
+        last axis either way, so any chunk size is bitwise-identical.
 
     Returns
     -------
@@ -96,10 +106,18 @@ def cdist(a, b, metric="euclidean"):
             return sq
         return np.sqrt(sq)
 
-    diff = a[:, None, :] - b[None, :, :]
-    if metric == "manhattan":
-        return np.sum(np.abs(diff), axis=2)
-    return np.max(np.abs(diff), axis=2)  # chebyshev
+    reduce = np.sum if metric == "manhattan" else np.max  # else chebyshev
+    n = a.shape[0]
+    if row_chunk is None or row_chunk >= n:
+        return reduce(np.abs(a[:, None, :] - b[None, :, :]), axis=2)
+    out = np.empty((n, b.shape[0]))
+    step = max(int(row_chunk), 1)
+    for start in range(0, n, step):
+        stop = min(start + step, n)
+        out[start:stop] = reduce(
+            np.abs(a[start:stop, None, :] - b[None, :, :]), axis=2
+        )
+    return out
 
 
 def pairwise_distances(x, metric="euclidean"):

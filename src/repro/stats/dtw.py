@@ -15,6 +15,31 @@ Implementation notes
 * An optional Sakoe-Chiba band constrains the warping path to a diagonal
   corridor -- an ablation knob (the paper uses unconstrained DTW).
 * :func:`dtw_path` recovers the optimal alignment for inspection/plots.
+
+Batched kernels and the bit-identity invariant
+----------------------------------------------
+Besides the per-pair reference fills, three batched kernels compute many
+pairs at once: :func:`batched_pair_distances` (equal-length, unbanded),
+:func:`banded_pair_distances` (equal-length with a Sakoe-Chiba band) and
+:func:`bucketed_pair_distances` (mixed-length pairs grouped by exact
+``(len_a, len_b)`` shape). All three run anti-diagonal wavefronts and
+are **bit-identical** to the sequential reference fills, by two facts:
+
+* ``min`` over IEEE-754 doubles is exact -- it returns one of its
+  operands unchanged -- so ``min(min(up, left), diag)`` equals
+  ``min(min(up, diag), left)`` bit for bit regardless of association or
+  evaluation order (all accumulated values here are non-negative or
+  ``+inf``, so the ``-0.0`` vs ``+0.0`` tie case cannot arise).
+* Every cell's final add ``cost[i, j] + m`` then sees the identical two
+  operands in both orders of computation, and each wavefront step is
+  elementwise over the pair axis, so batch composition and pair-axis
+  chunking cannot move a bit either.
+
+The border associations differ deliberately between the reference fills
+(:func:`_accumulate` folds ``cost[0, 0]`` into the first row *after* the
+cumsum; :func:`_accumulate_banded` and :func:`_pair_wavefront` accumulate
+borders as plain prefix sums) and the batched kernels replicate whichever
+reference fill serves their pair class -- see :func:`_batched_accumulate`.
 """
 
 from __future__ import annotations
@@ -119,7 +144,10 @@ def dtw_distance(a, b, band=None, normalize=False):
         (the paper's setting).
     normalize:
         If ``True``, divide the path cost by the warping path length,
-        making distances comparable across series-length scales.
+        making distances comparable across series-length scales. The
+        length is counted by :func:`_path_length` without materializing
+        the path; request :func:`dtw_path` when the alignment itself is
+        needed.
 
     Returns
     -------
@@ -136,8 +164,39 @@ def dtw_distance(a, b, band=None, normalize=False):
     total = float(acc[-1, -1])
     if not normalize:
         return total
-    path = _traceback(acc)
-    return total / len(path)
+    return total / _path_length(acc)
+
+
+def _path_length(acc):
+    """Length of the warping path :func:`_traceback` would recover,
+    without materializing it.
+
+    Walks the same greedy backward steps with the same tie-breaking
+    (``min`` over the candidates ordered diagonal, up, left keeps the
+    first minimum, so diagonal wins ties, then up), counting instead of
+    collecting -- ``normalize=True`` distances are unchanged while the
+    path list allocation disappears.
+    """
+    i, j = acc.shape[0] - 1, acc.shape[1] - 1
+    length = 1
+    while i > 0 or j > 0:
+        if i == 0:
+            j -= 1
+        elif j == 0:
+            i -= 1
+        else:
+            diag = acc[i - 1, j - 1]
+            up = acc[i - 1, j]
+            left = acc[i, j - 1]
+            if diag <= up and diag <= left:
+                i -= 1
+                j -= 1
+            elif up <= left:
+                i -= 1
+            else:
+                j -= 1
+        length += 1
+    return length
 
 
 def _traceback(acc):
@@ -245,6 +304,157 @@ def _pair_wavefront(x, idx_i, idx_j):
             np.minimum(up, left), diag
         )
     return acc[:, -1, -1]
+
+
+def _batched_accumulate(cost, band=None):
+    """Anti-diagonal wavefront DTW fill over a ``(pairs, n, m)`` batch.
+
+    The batched twin of the per-pair reference fills, replicating their
+    border associations exactly so it is bit-identical per pair:
+
+    * ``band=None`` matches :func:`_accumulate`: the first row is
+      ``cumsum(cost[0, 1:]) + cost[0, 0]`` (the reference folds the
+      corner in *after* the cumsum), the first column a plain cumsum.
+    * banded matches :func:`_accumulate_banded`: both borders are plain
+      prefix sums truncated at the (corner-admitting) band, and only
+      cells with ``|i - j| <= band`` are filled.
+
+    Interior cells compute ``cost + min(min(up, left), diag)``; the
+    reference row fill computes ``cost + min(min(up, diag), left)`` --
+    identical bits because IEEE-754 ``min`` is exact regardless of
+    association (see the module docstring).
+    """
+    p, n, m = cost.shape
+    acc = np.full((p, n, m), np.inf)
+    if band is None:
+        b = None
+        acc[:, 0, 0] = cost[:, 0, 0]
+        acc[:, 0, 1:] = np.cumsum(cost[:, 0, 1:], axis=1) + cost[:, 0, :1]
+        acc[:, :, 0] = np.cumsum(cost[:, :, 0], axis=1)
+    else:
+        b = max(band, abs(n - m))  # band must admit the corner cell
+        row = np.cumsum(cost[:, 0, :], axis=1)
+        acc[:, 0, : min(m, b + 1)] = row[:, : min(m, b + 1)]
+        col = np.cumsum(cost[:, :, 0], axis=1)
+        acc[:, 1 : min(n, b + 1), 0] = col[:, 1 : min(n, b + 1)]
+    for d in range(2, n + m - 1):
+        i_lo = max(1, d - (m - 1))
+        i_hi = min(n - 1, d - 1)
+        if b is not None:
+            # |2i - d| <= b keeps the diagonal's cells inside the band.
+            i_lo = max(i_lo, (d - b + 1) // 2)
+            i_hi = min(i_hi, (d + b) // 2)
+        if i_lo > i_hi:
+            continue
+        i = np.arange(i_lo, i_hi + 1)
+        j = d - i
+        up = acc[:, i - 1, j]
+        left = acc[:, i, j - 1]
+        diag = acc[:, i - 1, j - 1]
+        acc[:, i, j] = cost[:, i, j] + np.minimum(
+            np.minimum(up, left), diag
+        )
+    return acc
+
+
+def banded_pair_distances(x, idx_i, idx_j, band,
+                          pair_chunk=DEFAULT_PAIR_CHUNK):
+    """Banded DTW distances for selected pairs of equal-length 1-D series.
+
+    The banded counterpart of :func:`batched_pair_distances`: one
+    batched anti-diagonal wavefront with the band mask applied per
+    diagonal, bit-identical to :func:`_accumulate_banded` run pair by
+    pair (banded ablations get the same fast path unbanded runs enjoy).
+
+    Parameters
+    ----------
+    x:
+        ``(k, L)`` matrix, one series per row.
+    idx_i, idx_j:
+        Row-index arrays of equal length selecting the pairs.
+    band:
+        Sakoe-Chiba band half-width (clamped up to admit the corner).
+    pair_chunk:
+        Maximum pairs per materialized ``(pairs, L, L)`` tensor;
+        ``None`` disables chunking. Chunking cannot move a bit: every
+        wavefront operation is elementwise over the pair axis.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(len(idx_i),)`` distances, one per requested pair.
+    """
+    idx_i = np.asarray(idx_i)
+    idx_j = np.asarray(idx_j)
+    n_pairs = idx_i.shape[0]
+    if pair_chunk is not None and 0 < pair_chunk < n_pairs:
+        out = np.empty(n_pairs)
+        for start in range(0, n_pairs, pair_chunk):
+            stop = min(start + pair_chunk, n_pairs)
+            out[start:stop] = _banded_wavefront(
+                x, idx_i[start:stop], idx_j[start:stop], band
+            )
+        return out
+    return _banded_wavefront(x, idx_i, idx_j, band)
+
+
+def _banded_wavefront(x, idx_i, idx_j, band):
+    """One materialized banded wavefront over a pair batch."""
+    cost = np.abs(x[idx_i][:, :, None] - x[idx_j][:, None, :])
+    return _batched_accumulate(cost, band)[:, -1, -1]
+
+
+def bucketed_pair_distances(arrays, idx_i, idx_j, band=None,
+                            pair_chunk=DEFAULT_PAIR_CHUNK):
+    """DTW distances for selected pairs of 1-D series of *any* lengths.
+
+    Mixed-length pair sets fall off the equal-length fast path and, in
+    the reference implementation, pay one Python-level
+    :func:`dtw_distance` per pair. Here the pairs are grouped by their
+    exact ``(len_a, len_b)`` shape and each bucket runs one batched
+    wavefront over a ``(pairs, len_a, len_b)`` tensor.
+
+    Buckets are shape-exact rather than padded: the band clamp
+    ``max(band, |n - m|)`` and the border cumsums both depend on the
+    true lengths, so padding would change bits. Per pair the result is
+    bit-identical to ``dtw_distance(a, b, band=band)`` -- the cost
+    matrix is elementwise, and :func:`_batched_accumulate` replicates
+    the reference fill for the bucket's shape and band.
+
+    Parameters
+    ----------
+    arrays:
+        Validated 1-D float series (see :func:`validate_series_list`).
+    idx_i, idx_j:
+        Index arrays of equal length selecting the pairs.
+    band:
+        Optional Sakoe-Chiba band half-width; ``None`` = unconstrained.
+    pair_chunk:
+        Maximum pairs per materialized bucket tensor; ``None`` disables
+        chunking.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(len(idx_i),)`` distances, in the requested pair order.
+    """
+    idx_i = np.asarray(idx_i)
+    idx_j = np.asarray(idx_j)
+    n_pairs = idx_i.shape[0]
+    out = np.empty(n_pairs)
+    buckets = {}
+    for p in range(n_pairs):
+        shape = (arrays[idx_i[p]].shape[0], arrays[idx_j[p]].shape[0])
+        buckets.setdefault(shape, []).append(p)
+    chunk = n_pairs if (pair_chunk is None or pair_chunk < 1) else pair_chunk
+    for members in buckets.values():
+        for start in range(0, len(members), max(chunk, 1)):
+            part = members[start : start + chunk]
+            a = np.stack([arrays[idx_i[p]] for p in part])
+            b_mat = np.stack([arrays[idx_j[p]] for p in part])
+            cost = np.abs(a[:, :, None] - b_mat[:, None, :])
+            out[part] = _batched_accumulate(cost, band)[:, -1, -1]
+    return out
 
 
 def _pairwise_aligned(x):

@@ -59,6 +59,62 @@ def _kolmogorov_sf(x):
     return float(min(max(2.0 * total, 0.0), 1.0))
 
 
+def kolmogorov_sf_batch(x):
+    """Vectorized :func:`_kolmogorov_sf` over an array of arguments.
+
+    Bit-identical to the scalar loop per element: the same 100-term
+    alternating series with the same add-then-check-1e-12 stopping rule,
+    applied per element via an ``active`` mask (an element whose term has
+    converged stops receiving additions, exactly like the scalar break).
+    Partial sums are strictly positive (the first term dominates), so the
+    final clamp never has a signed-zero tie to resolve. The exponential
+    itself is ``math.exp`` per element -- ``np.exp`` differs from it at
+    ULP level on this platform, and bit-identity outranks shaving the
+    (already convergence-bounded) series loop.
+    """
+    x = np.asarray(x, dtype=float)
+    total = np.zeros(x.shape)
+    active = x > 0
+    for k in range(1, 101):
+        if not active.any():
+            break
+        exponents = -2.0 * (k * x) ** 2
+        term = (-1.0) ** (k - 1) * np.fromiter(
+            (math.exp(e) for e in np.ravel(exponents)),
+            dtype=float,
+            count=x.size,
+        ).reshape(x.shape)
+        total = total + np.where(active, term, 0.0)
+        active = active & (np.abs(term) >= 1e-12)
+    out = np.minimum(np.maximum(2.0 * total, 0.0), 1.0)
+    return np.where(x > 0, out, 1.0)
+
+
+def ks_statistic_uniform_columns(x):
+    """Column-batched :func:`ks_statistic_uniform` over a 2-D matrix.
+
+    One sort along axis 0 plus broadcast ``d_plus`` / ``d_minus`` maxima
+    replace the per-column Python loop the SpreadScore otherwise pays.
+    Bit-identical to ``[ks_statistic_uniform(x[:, j]) for j in columns]``:
+    clip, sort, the grid subtraction, and the reductions are all
+    elementwise or per-column, and the final three-way combine is the
+    reference's own Python ``max`` expression per column.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError("expected a 2-D (samples, columns) matrix")
+    n = x.shape[0]
+    if n == 0:
+        raise ValueError("values is empty")
+    v = np.sort(np.clip(x, 0.0, 1.0), axis=0)
+    grid = (np.arange(1, n + 1) / n)[:, None]
+    d_plus = np.max(grid - v, axis=0)
+    d_minus = np.max(v - (grid - 1.0 / n), axis=0)
+    return np.array(
+        [float(max(dp, dm, 0.0)) for dp, dm in zip(d_plus, d_minus)]
+    )
+
+
 def ks_statistic_uniform(values):
     """Exact one-sample KS D-value of ``values`` against U(0, 1).
 

@@ -396,3 +396,89 @@ class TestRealTreeContracts:
         for site in engine_sites:
             bad = analysis.solver.effects(site.func) & FORBIDDEN_CACHED
             assert not bad, (site.func, bad)
+
+
+class TestBackendPurity:
+    """The compute-backend registry module is held to dispatch purity:
+    top-level functions only, no effect that could make "which backend
+    ran" observable."""
+
+    def _findings(self, tmp_path, backend_src):
+        root = make_pkg(tmp_path, {
+            "stats/__init__.py": "",
+            "stats/backend.py": backend_src,
+        }, name="repro")
+        return by_rule(deep_findings([root], cache_dir=None),
+                       "backend-purity")
+
+    def test_clock_in_dispatch_function_flagged_with_chain(self, tmp_path):
+        flagged = self._findings(tmp_path, """\
+            import time
+
+
+            def _stamp():
+                return time.time()
+
+
+            def vectorized_pair_distances(arrays, idx_i, idx_j, band=None):
+                return [x * _stamp() for x in arrays]
+        """)
+        messages = " | ".join(f.message for f in flagged)
+        assert "repro.stats.backend.vectorized_pair_distances" in messages
+        assert "CLOCK" in messages
+        # The justifying chain walks through the helper to the atom.
+        assert "time.time" in messages
+
+    def test_nested_and_method_dispatch_flagged(self, tmp_path):
+        flagged = self._findings(tmp_path, """\
+            def make_pair_distances(scale):
+                def pair_distances(arrays, idx_i, idx_j, band=None):
+                    return [scale * len(a) for a in arrays]
+                return pair_distances
+
+
+            class Registry:
+                def pair_distances(self, arrays, idx_i, idx_j, band=None):
+                    return [len(a) for a in arrays]
+        """)
+        messages = " | ".join(f.message for f in flagged)
+        assert "nested function" in messages
+        assert ("repro.stats.backend.make_pair_distances.pair_distances"
+                in messages)
+        assert "method repro.stats.backend.Registry.pair_distances" \
+            in messages
+
+    def test_clean_registry_module_passes(self, tmp_path):
+        flagged = self._findings(tmp_path, """\
+            import os
+
+
+            def reference_pair_distances(arrays, idx_i, idx_j, band=None):
+                return [float(len(a)) for a in arrays]
+
+
+            def resolve_backend(name=None):
+                return name or os.environ.get("REPRO_BACKEND", "reference")
+        """)
+        assert flagged == []
+
+    def test_same_code_outside_the_registry_module_is_exempt(
+            self, tmp_path):
+        root = make_pkg(tmp_path, {
+            "stats/__init__.py": "",
+            "stats/other.py": """\
+                import time
+
+
+                def helper():
+                    return time.time()
+            """,
+        }, name="repro")
+        assert by_rule(deep_findings([root], cache_dir=None),
+                       "backend-purity") == []
+
+    def test_real_backend_module_is_clean(self):
+        analysis = analyze_project(SRC)
+        from repro.qa.flow.deeprules import check_backend_purity
+
+        assert check_backend_purity(analysis.index, analysis.solver) == []

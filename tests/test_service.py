@@ -167,6 +167,36 @@ class TestEndpoints:
         assert result["n_evaluated"] == 2
         assert len(result["best"]["selected"]) == 4
 
+    def test_health_reports_default_backend(self, service):
+        from repro.stats.backend import resolve_backend
+
+        _config, client = service
+        # The daemon resolved its backend the same way an engine would
+        # (explicit > $REPRO_BACKEND > reference), so the health report
+        # must agree with a fresh resolution in this environment.
+        assert client.health()["backend"] == resolve_backend().name
+
+    def test_backend_request_field_is_bit_invisible(self, service):
+        from repro.stats.backend import resolve_backend
+
+        config, client = service
+        served = client.score_card("nbench", backend="vectorized")
+        card = _cli_card(config, "nbench")
+        assert diff_scorecards(card, served) == []
+        assert served.rendered == str(card)
+        # The override is per-request: the daemon's default survives.
+        assert client.health()["backend"] == resolve_backend().name
+
+    def test_compare_and_subset_accept_backend(self, service):
+        _config, client = service
+        ref = client.compare(["nbench", "nbench"])
+        vec = client.compare(["nbench", "nbench"], backend="vectorized")
+        assert [w["rendered"] for w in vec["scorecards"]] == \
+            [w["rendered"] for w in ref["scorecards"]]
+        ref = client.subset("nbench", size=4)
+        vec = client.subset("nbench", size=4, backend="vectorized")
+        assert vec["rendered"] == ref["rendered"]
+
     def test_concurrent_sessions_get_identical_bytes(self, service):
         _config, client = service
         outcomes = [None] * 4
@@ -231,6 +261,13 @@ class TestErrors:
         with pytest.raises(ServiceError) as excinfo:
             client.subset("nbench", size=0)
         assert excinfo.value.status == 400
+
+    def test_unknown_backend_is_400(self, service):
+        _config, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.score("nbench", backend="gpu")
+        assert excinfo.value.status == 400
+        assert "unknown backend" in excinfo.value.message
 
 
 class TestShutdown:

@@ -1,0 +1,282 @@
+"""Tests for repro.stats.backend and the batched compute kernels.
+
+The registry's whole contract is that backends are a speed knob and
+never a numerical one, so almost every test here is a bit-identity
+assertion: batched wavefront vs the sequential reference fill, bucketed
+mixed-length sweeps vs the per-pair loop, column-batched KS vs the
+scalar statistic, and whole engines run under both backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.stats.backend import (
+    ComputeBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
+from repro.stats.dtw import (
+    _accumulate,
+    _accumulate_banded,
+    _batched_accumulate,
+    _local_cost_matrix,
+    banded_pair_distances,
+    bucketed_pair_distances,
+    dtw_distance,
+)
+from repro.stats.kstest import (
+    _kolmogorov_sf,
+    kolmogorov_sf_batch,
+    ks_statistic_uniform,
+    ks_statistic_uniform_columns,
+)
+
+
+def bits(values):
+    """The exact byte content of a float array -- equality through this
+    is bit-identity, not approximate closeness."""
+    return np.asarray(values, dtype=float).tobytes()
+
+
+class TestBatchedAccumulate:
+    def test_unbanded_matches_reference_fill(self):
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            n = int(rng.integers(1, 30))
+            m = int(rng.integers(1, 30))
+            cost = rng.uniform(0.0, 10.0, size=(3, n, m))
+            batched = _batched_accumulate(cost)
+            for p in range(cost.shape[0]):
+                assert bits(batched[p]) == bits(_accumulate(cost[p]))
+
+    def test_banded_matches_reference_fill(self):
+        rng = np.random.default_rng(1)
+        for _ in range(60):
+            n = int(rng.integers(1, 30))
+            m = int(rng.integers(1, 30))
+            band = int(rng.integers(0, 12))
+            cost = rng.uniform(0.0, 10.0, size=(2, n, m))
+            batched = _batched_accumulate(cost, band=band)
+            for p in range(cost.shape[0]):
+                assert bits(batched[p]) == bits(
+                    _accumulate_banded(cost[p], band))
+
+    def test_degenerate_shapes(self):
+        # L=1 on either axis and band=0 must all agree exactly.
+        rng = np.random.default_rng(2)
+        for n, m, band in [(1, 1, None), (1, 7, None), (7, 1, None),
+                           (1, 1, 0), (1, 7, 0), (7, 1, 0), (5, 5, 0)]:
+            cost = rng.uniform(0.0, 10.0, size=(2, n, m))
+            if band is None:
+                expected = [_accumulate(c) for c in cost]
+            else:
+                expected = [_accumulate_banded(c, band) for c in cost]
+            batched = _batched_accumulate(cost, band=band)
+            for p, exp in enumerate(expected):
+                assert bits(batched[p]) == bits(exp)
+
+    def test_band_narrower_than_length_gap(self):
+        # The clamp b = max(band, |n-m|) must match the scalar kernel.
+        rng = np.random.default_rng(3)
+        cost = rng.uniform(0.0, 10.0, size=(1, 20, 9))
+        batched = _batched_accumulate(cost, band=2)
+        assert bits(batched[0]) == bits(_accumulate_banded(cost[0], 2))
+
+
+class TestBandedPairDistances:
+    def test_all_pairs_matches_per_pair_loop(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(0.0, 10.0, size=(11, 25))
+        idx_i, idx_j = np.triu_indices(11, k=1)
+        for band in (0, 1, 3, 10, 40):
+            got = banded_pair_distances(x, idx_i, idx_j, band)
+            expected = [dtw_distance(x[i], x[j], band=band)
+                        for i, j in zip(idx_i, idx_j)]
+            assert bits(got) == bits(expected)
+
+    def test_chunking_is_invisible(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(0.0, 10.0, size=(9, 17))
+        idx_i, idx_j = np.triu_indices(9, k=1)
+        whole = banded_pair_distances(x, idx_i, idx_j, 4, pair_chunk=None)
+        for chunk in (1, 2, 7, 1000):
+            assert bits(banded_pair_distances(
+                x, idx_i, idx_j, 4, pair_chunk=chunk)) == bits(whole)
+
+
+class TestBucketedPairDistances:
+    LENGTHS = [1, 5, 5, 17, 17, 17, 23, 9, 9, 1]
+
+    def _arrays(self, seed=6):
+        rng = np.random.default_rng(seed)
+        return [rng.uniform(0.0, 10.0, size=n) for n in self.LENGTHS]
+
+    @pytest.mark.parametrize("band", [None, 0, 2, 8])
+    def test_mixed_lengths_match_per_pair_loop(self, band):
+        arrays = self._arrays()
+        idx_i, idx_j = np.triu_indices(len(arrays), k=1)
+        got = bucketed_pair_distances(arrays, idx_i, idx_j, band=band)
+        expected = [dtw_distance(arrays[i], arrays[j], band=band)
+                    for i, j in zip(idx_i, idx_j)]
+        assert bits(got) == bits(expected)
+
+    def test_chunking_is_invisible(self):
+        arrays = self._arrays(seed=7)
+        idx_i, idx_j = np.triu_indices(len(arrays), k=1)
+        whole = bucketed_pair_distances(arrays, idx_i, idx_j,
+                                        pair_chunk=None)
+        for chunk in (1, 3, 1000):
+            assert bits(bucketed_pair_distances(
+                arrays, idx_i, idx_j, pair_chunk=chunk)) == bits(whole)
+
+    def test_order_is_the_request_order(self):
+        # Bucketing reorders work internally; results must come back in
+        # the caller's pair order regardless.
+        arrays = self._arrays(seed=8)
+        idx_i = np.array([9, 0, 5, 3])
+        idx_j = np.array([2, 1, 0, 8])
+        got = bucketed_pair_distances(arrays, idx_i, idx_j)
+        expected = [dtw_distance(arrays[i], arrays[j])
+                    for i, j in zip(idx_i, idx_j)]
+        assert bits(got) == bits(expected)
+
+
+class TestColumnKS:
+    def test_matches_per_column_statistic(self):
+        rng = np.random.default_rng(9)
+        for _ in range(40):
+            n = int(rng.integers(1, 200))
+            cols = int(rng.integers(1, 12))
+            x = rng.uniform(-0.2, 1.2, size=(n, cols))
+            got = ks_statistic_uniform_columns(x)
+            expected = [ks_statistic_uniform(x[:, c])
+                        for c in range(cols)]
+            assert bits(got) == bits(expected)
+
+    def test_constant_columns(self):
+        x = np.full((50, 3), 0.5)
+        got = ks_statistic_uniform_columns(x)
+        expected = [ks_statistic_uniform(x[:, c]) for c in range(3)]
+        assert bits(got) == bits(expected)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            ks_statistic_uniform_columns(np.zeros(5))
+        with pytest.raises(ValueError):
+            ks_statistic_uniform_columns(np.zeros((0, 3)))
+
+    def test_sf_batch_matches_scalar(self):
+        rng = np.random.default_rng(10)
+        x = np.concatenate([
+            rng.uniform(0.0, 3.0, size=64), [0.0, -1.0, 1e-12, 5.0]])
+        got = kolmogorov_sf_batch(x)
+        expected = [_kolmogorov_sf(float(v)) for v in x]
+        assert bits(got) == bits(expected)
+
+
+class TestRegistry:
+    def test_two_backends_registered(self):
+        assert available_backends() == ("reference", "vectorized")
+
+    def test_get_backend_passthrough_and_errors(self):
+        backend = get_backend("vectorized")
+        assert isinstance(backend, ComputeBackend)
+        assert get_backend(backend) is backend
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("gpu")
+
+    def test_resolve_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend().name == "reference"
+        monkeypatch.setenv("REPRO_BACKEND", "vectorized")
+        assert resolve_backend().name == "vectorized"
+        # An explicit choice beats the environment.
+        assert resolve_backend("reference").name == "reference"
+
+    def test_resolve_rejects_unknown_env_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "quantum")
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend()
+
+    def test_backends_dispatch_identically(self):
+        rng = np.random.default_rng(11)
+        arrays = [rng.uniform(0.0, 10.0, size=n)
+                  for n in (12, 12, 16, 12, 16)]
+        idx_i, idx_j = np.triu_indices(len(arrays), k=1)
+        for band in (None, 0, 3):
+            ref = get_backend("reference").pair_distances(
+                arrays, idx_i, idx_j, band)
+            vec = get_backend("vectorized").pair_distances(
+                arrays, idx_i, idx_j, band)
+            assert bits(ref) == bits(vec)
+        x = rng.uniform(size=(40, 5))
+        assert bits(get_backend("reference").ks_columns(x)) == bits(
+            get_backend("vectorized").ks_columns(x))
+
+
+class TestEngineCrossBackend:
+    def _series(self, equal=True, seed=12):
+        rng = np.random.default_rng(seed)
+        lengths = [20] * 6 if equal else [14, 20, 20, 17, 14, 20]
+        return [rng.uniform(0.0, 10.0, size=n) for n in lengths]
+
+    @pytest.mark.parametrize("equal,band", [
+        (True, None), (True, 0), (True, 3), (False, None), (False, 2)])
+    def test_dtw_matrix_bit_identical(self, equal, band):
+        from repro.engine import Engine
+
+        series = self._series(equal=equal)
+        with Engine(backend="reference") as ref_engine, \
+                Engine(backend="vectorized") as vec_engine:
+            ref = ref_engine.dtw_matrix(series, band=band)
+            vec = vec_engine.dtw_matrix(series, band=band)
+        assert ref.tobytes() == vec.tobytes()
+
+    def test_dtw_pair_bit_identical(self):
+        from repro.engine import Engine
+
+        a, b = self._series(equal=False)[:2]
+        with Engine(backend="reference") as ref_engine, \
+                Engine(backend="vectorized") as vec_engine:
+            assert bits([ref_engine.dtw_pair(a, b, band=2)]) == bits(
+                [vec_engine.dtw_pair(a, b, band=2)])
+
+    def test_cache_keys_are_backend_free(self, tmp_path):
+        # A disk tier written by one backend must serve the other: the
+        # vectorized engine's first lookup lands as a disk hit on the
+        # reference engine's entry, and the bits agree.
+        from repro.engine import Engine
+
+        series = self._series()
+        cache_dir = str(tmp_path / "kernels")
+        with Engine(backend="reference", cache_dir=cache_dir) as engine:
+            ref = engine.dtw_matrix(series, band=3)
+        with Engine(backend="vectorized", cache_dir=cache_dir) as engine:
+            vec = engine.dtw_matrix(series, band=3)
+            assert engine.cache.disk.hits > 0
+        assert ref.tobytes() == vec.tobytes()
+
+    def test_engine_resolves_env_backend(self, monkeypatch):
+        from repro.engine import Engine
+
+        monkeypatch.setenv("REPRO_BACKEND", "vectorized")
+        with Engine() as engine:
+            assert engine.backend.name == "vectorized"
+
+    def test_spread_score_backend_knob(self):
+        from repro.core.matrix import CounterMatrix
+        from repro.core.spread_score import spread_score
+
+        rng = np.random.default_rng(13)
+        matrix = CounterMatrix(
+            workloads=tuple(f"w{i}" for i in range(12)),
+            events=("e0", "e1", "e2"),
+            values=rng.uniform(1.0, 100.0, size=(12, 3)),
+            suite_name="backend-test",
+        )
+        ref = spread_score(matrix, backend="reference")
+        vec = spread_score(matrix, backend="vectorized")
+        assert bits([ref.value]) == bits([vec.value])
+        assert bits(list(ref.per_item.values())) == bits(
+            list(vec.per_item.values()))

@@ -101,6 +101,18 @@ class TestCdist:
         with pytest.raises(ValueError, match="2-D"):
             cdist(np.zeros(3), np.zeros((2, 3)))
 
+    @pytest.mark.parametrize("metric", ["manhattan", "chebyshev"])
+    def test_row_chunking_is_bitwise_invisible(self, metric):
+        # The chunked row sweep must return the exact bytes of the
+        # one-shot broadcast at every chunk size.
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=(13, 6)) * 1e3
+        b = rng.normal(size=(9, 6)) * 1e3
+        whole = cdist(a, b, metric=metric, row_chunk=None)
+        for chunk in (1, 2, 3, 5, 13, 1000):
+            chunked = cdist(a, b, metric=metric, row_chunk=chunk)
+            assert chunked.tobytes() == whole.tobytes()
+
 
 class TestPairwiseDistances:
     def test_zero_diagonal(self):

@@ -98,6 +98,35 @@ class TestDTWDistance:
         norm = dtw_distance(a, b, normalize=True)
         assert norm == pytest.approx(raw / 5)  # diagonal path, length 5
 
+    def test_normalized_agrees_with_traceback_length(self):
+        # _path_length must replicate _traceback's tie-breaking exactly,
+        # so normalize=True divides by len(the materialized path).
+        from repro.stats.dtw import dtw_path
+
+        rng = np.random.default_rng(42)
+        for _ in range(30):
+            n = int(rng.integers(2, 25))
+            m = int(rng.integers(2, 25))
+            band = [None, 0, 2, 6][int(rng.integers(0, 4))]
+            a = rng.uniform(0.0, 10.0, size=n)
+            b = rng.uniform(0.0, 10.0, size=m)
+            raw, path = dtw_path(a, b, band=band)
+            norm = dtw_distance(a, b, band=band, normalize=True)
+            assert norm == raw / len(path)
+
+    def test_normalize_does_not_materialize_the_path(self, monkeypatch):
+        # Counting the optimal path's length needs no (i, j) list;
+        # building one is O(n+m) allocation per pair on the hot path.
+        import repro.stats.dtw as dtw_mod
+
+        def boom(acc):
+            raise AssertionError("normalize=True called _traceback")
+
+        monkeypatch.setattr(dtw_mod, "_traceback", boom)
+        a = np.array([0.0, 1.0, 4.0, 2.0])
+        b = np.array([1.0, 0.0, 2.0])
+        assert dtw_mod.dtw_distance(a, b, normalize=True) > 0
+
     @settings(max_examples=40, deadline=None)
     @given(series(), series())
     def test_property_nonnegative_and_symmetric(self, a, b):
