@@ -11,17 +11,20 @@
 # bench (persistent pool vs pool-per-call + disk-cold vs disk-warm
 # CLI), the tracing-overhead bench, and the vectorized-vs-reference
 # kernel bench (banded all-pairs DTW >= 5x, mixed-length bucketed
-# >= 3x, all bit-identical), guarded by the BENCH_engine.json /
+# >= 3x, all bit-identical), and the shard fan-out bench (all-pairs
+# DTW through 2 local shard daemons >= 1.6x over 1 on multi-core
+# hosts, bit-identical everywhere), guarded by the BENCH_engine.json /
 # BENCH_subset.json / BENCH_parallel.json / BENCH_obs.json /
-# BENCH_kernels.json baselines.
+# BENCH_kernels.json / BENCH_shard.json baselines.
 
 PYTHON ?= python
 RUN = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
 
-.PHONY: qa lint lint-deep ruff mypy determinism serve-smoke test bench \
-	bench-engine bench-subset bench-parallel bench-obs bench-kernels
+.PHONY: qa lint lint-deep ruff mypy determinism serve-smoke \
+	shard-smoke test bench bench-engine bench-subset bench-parallel \
+	bench-obs bench-kernels bench-shard
 
-qa: lint lint-deep ruff mypy determinism serve-smoke
+qa: lint lint-deep ruff mypy determinism serve-smoke shard-smoke
 	@echo "qa: all gates passed"
 
 lint:
@@ -54,10 +57,18 @@ determinism:
 serve-smoke:
 	$(RUN) -m repro.qa.service_check --workers 2
 
+# Shard-smoke: boot 2 local daemons as shard workers, run sharded
+# scoring and subset search (cold, disk-warm, vectorized daemons,
+# kill-one-shard), and diff every artifact bit-for-bit against the
+# serial oracle (same check as `repro qa --shards 2`).
+shard-smoke:
+	$(RUN) -m repro.qa.shard_check --shards 2
+
 test:
 	$(RUN) -m pytest -x -q
 
-bench: bench-engine bench-subset bench-parallel bench-obs bench-kernels
+bench: bench-engine bench-subset bench-parallel bench-obs \
+		bench-kernels bench-shard
 	$(RUN) -m pytest benchmarks -q
 
 bench-engine:
@@ -74,3 +85,6 @@ bench-obs:
 
 bench-kernels:
 	$(RUN) -m repro.stats.kernel_bench --check
+
+bench-shard:
+	$(RUN) -m repro.engine.shard_bench --check

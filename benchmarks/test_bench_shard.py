@@ -1,0 +1,53 @@
+"""Bench: multi-host shard fan-out speedup.
+
+Like ``test_bench_parallel.py`` this regenerates no paper artifact; it
+guards the DESIGN.md §14 performance contract against the committed
+``BENCH_shard.json`` baseline:
+
+* an all-pairs DTW matrix computed through 2 local shard daemons must
+  beat the 1-daemon arm by at least 1.6x -- on hosts with at least 2
+  cores, where two daemon subprocesses can actually run concurrently
+  (a single-core host time-shares them and the ratio is physics-bound
+  to ~1x, so only bit-identity is enforced there);
+* both sharded arms must be bit-identical to a local serial engine --
+  that part holds on any host and is never skipped.
+"""
+
+import json
+import pathlib
+
+from repro.engine.shard_bench import (
+    MIN_CORES,
+    MIN_SPEEDUP,
+    render,
+    run_shard_bench,
+)
+
+from conftest import run_once
+
+BASELINE = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_shard.json"
+
+
+def test_shard_fanout_speedup(benchmark):
+    result = run_once(benchmark, run_shard_bench)
+    print()
+    print(render(result))
+
+    assert result["identical"], \
+        "sharded DTW matrices drifted from the serial engine's bits"
+    if (result.get("cores") or 0) >= MIN_CORES:
+        assert result["speedup"] >= MIN_SPEEDUP, (
+            f"2-shard speedup {result['speedup']:.1f}x is below the "
+            f"{MIN_SPEEDUP:.1f}x contract on a "
+            f"{result['cores']}-core host"
+        )
+
+
+def test_baseline_file_is_committed_and_consistent():
+    assert BASELINE.exists(), "BENCH_shard.json baseline missing"
+    baseline = json.loads(BASELINE.read_text())
+    assert baseline["min_speedup"] == MIN_SPEEDUP
+    assert baseline["identical"] is True
+    if (baseline.get("cores") or 0) >= MIN_CORES:
+        assert baseline["speedup"] >= baseline["min_speedup"]

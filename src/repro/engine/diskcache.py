@@ -30,6 +30,18 @@ under a valid key; ``repro qa`` checks for stale orphans
 (:func:`stale_artifacts`) and :meth:`DiskCache.put` sweeps expired ones
 opportunistically.
 
+**Concurrent writers are safe** -- a prerequisite for shard daemons
+sharing one ``--cache-dir`` over network storage (DESIGN.md section
+14). There is no separate index file to corrupt: the directory *is*
+the LRU index (mtimes order it), so the only shared-write hazards are
+the tmp file and the final rename. Tmp names carry a host discriminator
+plus pid plus a process-local sequence (two hosts on shared storage
+can collide on pid alone), and a racing :func:`os.replace` -- possible
+on filesystems where rename-over-existing is not atomic -- is retried,
+then conceded as a benign lost race when the competing writer's entry
+is already in place (content-addressed keys guarantee both wrote the
+same bytes; ``disk_put_races`` counts concessions).
+
 **Eviction** is size-capped LRU on mtime: every hit touches the entry,
 and a put that pushes the tier past ``max_bytes`` removes
 least-recently-used entries until it fits.
@@ -37,8 +49,11 @@ least-recently-used entries until it fits.
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import json
 import os
+import socket
 import time
 
 import numpy as np
@@ -56,6 +71,24 @@ DEFAULT_MAX_BYTES = 1 << 30
 #: ``*.tmp`` orphans older than this (seconds) are presumed dead writers
 #: and swept; younger ones may be a live concurrent write.
 STALE_TMP_SECONDS = 3600.0
+
+#: Attempts for a racing :func:`os.replace` before giving up.
+_REPLACE_ATTEMPTS = 3
+
+_TMP_SEQUENCE = itertools.count()
+_HOST_TAG = None
+
+
+def _writer_tag():
+    """Unique-per-writer tmp-file suffix: an 8-hex host discriminator,
+    the pid, and a process-local sequence number. Pid alone is not
+    unique when two hosts share one cache directory over the network."""
+    global _HOST_TAG
+    if _HOST_TAG is None:
+        _HOST_TAG = hashlib.sha256(
+            socket.gethostname().encode("utf-8", "replace")
+        ).hexdigest()[:8]
+    return f"{_HOST_TAG}-{os.getpid()}-{next(_TMP_SEQUENCE)}"
 
 
 # -- payload grammar ---------------------------------------------------------
@@ -179,6 +212,7 @@ class DiskCache:
         self._misses = metrics.counter("disk_misses")
         self._writes = metrics.counter("disk_writes")
         self._evictions = metrics.counter("disk_evictions")
+        self._put_races = metrics.counter("disk_put_races")
 
     # Legacy counter attributes, now views over the shared registry.
 
@@ -265,7 +299,7 @@ class DiskCache:
             return False
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
-        tmp = os.path.join(directory, f".{key}.{os.getpid()}.tmp")
+        tmp = os.path.join(directory, f".{key}.{_writer_tag()}.tmp")
         header = {
             "magic": _MAGIC,
             "version": FORMAT_VERSION,
@@ -284,7 +318,8 @@ class DiskCache:
                         a = np.ascontiguousarray(a).reshape(a.shape)
                     np.lib.format.write_array(f, a, allow_pickle=False)
             size = os.path.getsize(tmp)
-            os.replace(tmp, path)
+            if not self._commit(tmp, path):
+                return False
         except BaseException:
             self._remove(tmp)
             raise
@@ -293,6 +328,32 @@ class DiskCache:
             self._bytes += size
         self._evict_if_needed()
         return True
+
+    def _commit(self, tmp, path):
+        """Rename ``tmp`` into place; returns whether *this* writer's
+        bytes landed. A failing rename is retried; if a concurrent
+        writer's entry appears under the key meanwhile, the race is
+        conceded (same key means same bytes) with an LRU touch, exactly
+        like the re-put path above."""
+        for attempt in range(_REPLACE_ATTEMPTS):
+            try:
+                os.replace(tmp, path)
+                return True
+            except OSError:
+                if os.path.exists(path):
+                    self._remove(tmp)
+                    self._put_races.inc()
+                    try:
+                        os.utime(path)
+                    except OSError:
+                        pass
+                    return False
+                if attempt == _REPLACE_ATTEMPTS - 1:
+                    raise
+                # Transient rename failure (network fs hiccup); the
+                # pause is bounded and tiny.
+                time.sleep(0.01 * (attempt + 1))
+        return False
 
     # -- eviction ----------------------------------------------------------
 

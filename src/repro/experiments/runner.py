@@ -50,12 +50,13 @@ class ExperimentConfig:
     cache: bool = True
     cache_dir: str | None = None
     backend: str | None = None
+    shards: str | None = None
 
     def measurement_key(self):
         """The fields that determine measured traces. Scoring knobs
         (``metric_seed``, ``workers``, ``cache``, ``cache_dir``,
-        ``backend``) are excluded, so re-scoring the same traces under
-        different settings reuses the measurement cache."""
+        ``backend``, ``shards``) are excluded, so re-scoring the same
+        traces under different settings reuses the measurement cache."""
         return (self.n_intervals, self.ops_per_interval,
                 self.warmup_intervals, self.warmup_boost, self.seed)
 
@@ -173,6 +174,7 @@ def perspector_for(config, session=None, engine=None):
             cache=config.cache,
             cache_dir=getattr(config, "cache_dir", None),
             backend=getattr(config, "backend", None),
+            shards=getattr(config, "shards", None),
         ),
         engine=engine,
     )

@@ -10,7 +10,15 @@
   score travels both as a JSON number and as its IEEE-754 bit pattern,
   so a served scorecard can be diffed bit-for-bit against a local one.
 * :mod:`repro.service.client` -- the blocking :class:`ServiceClient`
-  behind ``repro client``.
+  behind ``repro client`` (bounded connect/read timeouts and retry
+  with backoff, so a dead daemon fails fast with
+  :class:`ServiceConnectionError`).
+
+Daemons double as **shard workers** (DESIGN.md §14): the
+``POST /v1/shard/exec`` endpoint executes one
+:mod:`repro.engine.shard` block -- a DTW pair range or a
+subset-candidate batch -- on the daemon's engine, which is how
+``--shard-hosts`` scales scoring past one machine.
 
 The daemon's invariant, enforced by ``repro.qa.service_check`` /
 ``make serve-smoke``: a scorecard served over HTTP is bit-identical to
@@ -27,12 +35,20 @@ from repro.service.app import (
     ScoringService,
     ServiceThread,
 )
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import (
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceError,
+)
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ServedScorecard,
+    decode_array,
+    decode_counter_matrix,
     decode_scorecard,
+    encode_array,
     encode_comparison,
+    encode_counter_matrix,
     encode_scorecard,
     encode_search_result,
     encode_subset_report,
@@ -46,10 +62,15 @@ __all__ = [
     "ScoringService",
     "ServedScorecard",
     "ServiceClient",
+    "ServiceConnectionError",
     "ServiceError",
     "ServiceThread",
+    "decode_array",
+    "decode_counter_matrix",
     "decode_scorecard",
+    "encode_array",
     "encode_comparison",
+    "encode_counter_matrix",
     "encode_scorecard",
     "encode_search_result",
     "encode_subset_report",

@@ -261,6 +261,7 @@ class ScoringService:
             ("POST", "/v1/score", self._handle_score),
             ("POST", "/v1/compare", self._handle_compare),
             ("POST", "/v1/subset", self._handle_subset),
+            ("POST", "/v1/shard/exec", self._handle_shard_exec),
             ("GET", "/v1/metrics", self._handle_metrics),
             ("GET", "/v1/health", self._handle_health),
             ("POST", "/v1/shutdown", self._handle_shutdown),
@@ -324,6 +325,27 @@ class ScoringService:
         encoded["kind"] = kind
         return 200, protocol.ok_envelope(encoded)
 
+    async def _handle_shard_exec(self, request):
+        """Execute one shard block (DESIGN.md section 14) on this
+        daemon's engine and backend. The payload carries bit-exact
+        operands; the response carries bit-pattern results, so a
+        coordinator assembling blocks from any mix of daemons gets the
+        serial path's exact floats."""
+        from repro.engine.shard import OPS, execute_block
+
+        payload = request.json()
+        block = payload.get("block")
+        if not isinstance(block, dict):
+            raise RequestError("'block' must be a JSON object")
+        if block.get("op") not in OPS:
+            raise RequestError(
+                f"unknown shard op {block.get('op')!r}; expected one of "
+                f"{list(OPS)}")
+        result = await self._run_scoring(self._shard_exec_sync,
+                                         execute_block, block)
+        result["id"] = block.get("id")
+        return 200, protocol.ok_envelope(result)
+
     async def _handle_metrics(self, request):
         snapshot = self.metrics.snapshot()
         return 200, protocol.ok_envelope({
@@ -333,9 +355,12 @@ class ScoringService:
         })
 
     async def _handle_health(self, request):
+        from repro.engine.shard import OPS
+
         return 200, protocol.ok_envelope({
             "status": "ok",
             "suites": list(available_suites()),
+            "shard_ops": list(OPS),
             "workers": self.engine.workers,
             "cache_enabled": self.engine.cache.enabled,
             "cache_dir": self.engine.cache_dir,
@@ -395,6 +420,9 @@ class ScoringService:
     def _subset_sync(self, suite, size, search, method, backend=None):
         with self._backend_override(backend):
             return self._subset_job(suite, size, search, method)
+
+    def _shard_exec_sync(self, execute_block, block):
+        return execute_block(self.engine, block)
 
     def _subset_job(self, suite, size, search, method):
         from repro.core.subset import LHSSubsetGenerator

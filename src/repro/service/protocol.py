@@ -51,6 +51,67 @@ def _bits_map(mapping):
     return {str(key): float_bits(value) for key, value in mapping.items()}
 
 
+# -- arrays and matrices ------------------------------------------------------
+
+
+def encode_array(array):
+    """JSON-safe dict carrying one ndarray's exact bytes.
+
+    The dtype string, shape and raw little-endian buffer travel as hex,
+    so :func:`decode_array` rebuilds a bit-identical array on the peer
+    -- the shard fan-out (DESIGN.md section 14) rides on this for its
+    operand transport, the same way scores ride on :func:`float_bits`.
+    """
+    array = np.ascontiguousarray(array)
+    if array.dtype.hasobject:
+        raise ValueError("object arrays have no wire representation")
+    return {
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+        "data": array.tobytes().hex(),
+    }
+
+
+def decode_array(payload):
+    """Inverse of :func:`encode_array`; returns an owned, writable
+    array."""
+    flat = np.frombuffer(bytes.fromhex(payload["data"]),
+                         dtype=np.dtype(payload["dtype"]))
+    return flat.reshape([int(dim) for dim in payload["shape"]]).copy()
+
+
+def encode_counter_matrix(matrix):
+    """JSON-safe dict for a :class:`~repro.core.matrix.CounterMatrix`,
+    bit-exact (values and every per-event series travel via
+    :func:`encode_array`; event order of ``series`` is preserved)."""
+    return {
+        "suite_name": matrix.suite_name,
+        "workloads": [str(w) for w in matrix.workloads],
+        "events": [str(e) for e in matrix.events],
+        "values": encode_array(matrix.values),
+        "series": {
+            str(event): [encode_array(s) for s in series_list]
+            for event, series_list in matrix.series.items()
+        },
+    }
+
+
+def decode_counter_matrix(payload):
+    """Inverse of :func:`encode_counter_matrix`."""
+    from repro.core.matrix import CounterMatrix
+
+    return CounterMatrix(
+        workloads=tuple(payload["workloads"]),
+        events=tuple(payload["events"]),
+        values=decode_array(payload["values"]),
+        series={
+            event: [decode_array(s) for s in series_list]
+            for event, series_list in payload["series"].items()
+        },
+        suite_name=payload.get("suite_name", ""),
+    )
+
+
 # -- scorecards ---------------------------------------------------------------
 
 

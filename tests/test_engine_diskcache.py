@@ -244,3 +244,86 @@ class TestKernelCacheIntegration:
 
         assert cache.get_or_compute(key, compute) == 9.0
         assert calls == []
+
+
+def _concurrent_putter(args):
+    """Child-process worker: open the tier fresh and write the shared
+    key plus one private key (fork-safe: builds its own DiskCache)."""
+    root, worker = args
+    cache = DiskCache(root)
+    shared = _key("shared")
+    cache.put(shared, np.arange(16.0))
+    cache.put(_key("private", worker), float(worker))
+    value = cache.get(shared)
+    return value is not MISS and value.tobytes() == \
+        np.arange(16.0).tobytes()
+
+
+class TestConcurrency:
+    def test_multiprocess_same_key_puts_are_safe(self, tmp_path):
+        """Several processes hammering one key: every reader sees the
+        bit-exact value, no entry is corrupted, no tmp orphan stays."""
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        with context.Pool(4) as pool:
+            ok = pool.map(_concurrent_putter,
+                          [(str(tmp_path), w) for w in range(8)])
+        assert all(ok)
+        cache = DiskCache(tmp_path)
+        assert cache.get(_key("shared")).tobytes() == \
+            np.arange(16.0).tobytes()
+        for worker in range(8):
+            assert cache.get(_key("private", worker)) == float(worker)
+        assert stale_artifacts(tmp_path) == []
+
+    def test_racing_rename_is_conceded_not_raised(self, tmp_path,
+                                                  monkeypatch):
+        """If another writer's entry lands during our rename, the loss
+        is conceded: no exception, no tmp orphan, a race counter tick,
+        and the winning entry stays readable."""
+        cache = DiskCache(tmp_path)
+        real_replace = os.replace
+
+        def racing_replace(src, dst):
+            # The "other" writer commits the same bytes first, then our
+            # rename fails -- the worst-case interleaving.
+            real_replace(src, dst)
+            raise OSError("simulated racing rename")
+
+        monkeypatch.setattr(os, "replace", racing_replace)
+        key = _key("raced")
+        assert cache.put(key, np.arange(4.0)) is False
+        monkeypatch.setattr(os, "replace", real_replace)
+        races = cache.metrics.snapshot().as_dict()["disk_put_races"]
+        assert races == 1
+        assert cache.get(key).tobytes() == np.arange(4.0).tobytes()
+        assert stale_artifacts(tmp_path) == []
+
+    def test_transient_rename_failure_is_retried(self, tmp_path,
+                                                 monkeypatch):
+        """A rename hiccup with no competing entry (network fs blip)
+        retries and the put still lands."""
+        cache = DiskCache(tmp_path)
+        real_replace = os.replace
+        attempts = []
+
+        def flaky_replace(src, dst):
+            if not attempts:
+                attempts.append("failed")
+                raise OSError("simulated transient failure")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", flaky_replace)
+        key = _key("flaky")
+        assert cache.put(key, 1.5) is True
+        assert attempts == ["failed"]
+        assert cache.get(key) == 1.5
+        assert stale_artifacts(tmp_path) == []
+
+    def test_writer_tags_are_unique_per_call(self):
+        from repro.engine.diskcache import _writer_tag
+
+        tags = {_writer_tag() for _ in range(10)}
+        assert len(tags) == 10
+        assert all(f"-{os.getpid()}-" in tag for tag in tags)

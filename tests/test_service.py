@@ -16,6 +16,7 @@ from repro.experiments.runner import ExperimentConfig
 from repro.qa.determinism import diff_scorecards
 from repro.service import (
     ServiceClient,
+    ServiceConnectionError,
     ServiceError,
     ServiceThread,
     decode_scorecard,
@@ -291,8 +292,9 @@ class TestShutdown:
         gc.collect()
         assert leaked_segments() == []
         assert stale_artifacts(str(tmp_path)) == []
-        # The daemon is really gone: new connections are refused.
-        with pytest.raises(OSError):
+        # The daemon is really gone: new connections are refused, and
+        # the client wraps the refusal after its retry budget.
+        with pytest.raises(ServiceConnectionError, match="cannot reach"):
             client.health()
 
     def test_serial_and_fanned_daemons_serve_identical_bits(self,
@@ -311,3 +313,60 @@ class TestShutdown:
                 client.shutdown()
                 thread.join()
         assert rendered[1] == rendered[2]
+
+
+def _dead_port():
+    """A loopback port with nothing listening on it."""
+    import socket
+
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+class TestClientFailure:
+    def test_dead_daemon_fails_fast_with_clear_error(self):
+        client = ServiceClient(host="127.0.0.1", port=_dead_port(),
+                               connect_timeout=1.0, retries=0)
+        with pytest.raises(ServiceConnectionError) as excinfo:
+            client.health()
+        error = excinfo.value
+        assert isinstance(error, ServiceError)  # one except clause catches both
+        assert error.status is None
+        assert error.attempts == 1
+        assert f"{client.host}:{client.port}" in str(error)
+        assert "cannot reach scoring daemon" in str(error)
+
+    def test_retry_budget_is_spent_before_failing(self):
+        client = ServiceClient(host="127.0.0.1", port=_dead_port(),
+                               connect_timeout=1.0, retries=2,
+                               backoff=0.01)
+        with pytest.raises(ServiceConnectionError) as excinfo:
+            client.health()
+        assert excinfo.value.attempts == 3
+
+    def test_http_level_errors_are_never_retried(self, monkeypatch):
+        calls = []
+
+        def fake_request_once(self, method, path, payload):
+            calls.append(path)
+            raise ServiceError(400, "bad request")
+
+        monkeypatch.setattr(ServiceClient, "_request_once",
+                            fake_request_once)
+        client = ServiceClient(host="127.0.0.1", port=1, retries=3)
+        with pytest.raises(ServiceError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 400
+        assert len(calls) == 1  # the daemon answered; asking again is futile
+
+    def test_cli_client_exits_nonzero_on_connection_failure(self, capsys):
+        from repro.cli import main
+
+        status = main(["client", "health", "--port", str(_dead_port()),
+                       "--connect-timeout", "1.0", "--retries", "0"])
+        captured = capsys.readouterr()
+        assert status == 2
+        assert "cannot reach scoring daemon" in captured.err
