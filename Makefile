@@ -9,22 +9,25 @@
 # `make bench` includes the engine's cold-vs-warm cache bench, the
 # subset evaluator's sliced-vs-naive bench, the warm-substrate
 # bench (persistent pool vs pool-per-call + disk-cold vs disk-warm
-# CLI), the tracing-overhead bench, and the vectorized-vs-reference
+# CLI), the tracing-overhead bench, the history-recording overhead
+# bench (<= 5% with the run-history store enabled, bit-identical),
+# and the vectorized-vs-reference
 # kernel bench (banded all-pairs DTW >= 5x, mixed-length bucketed
 # >= 3x, all bit-identical), and the shard fan-out bench (all-pairs
 # DTW through 2 local shard daemons >= 1.6x over 1 on multi-core
 # hosts, bit-identical everywhere), guarded by the BENCH_engine.json /
 # BENCH_subset.json / BENCH_parallel.json / BENCH_obs.json /
-# BENCH_kernels.json / BENCH_shard.json baselines.
+# BENCH_history.json / BENCH_kernels.json / BENCH_shard.json baselines.
 
 PYTHON ?= python
 RUN = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
 
 .PHONY: qa lint lint-deep ruff mypy determinism serve-smoke \
-	shard-smoke test bench bench-engine bench-subset bench-parallel \
-	bench-obs bench-kernels bench-shard
+	shard-smoke history-smoke test bench bench-engine bench-subset \
+	bench-parallel bench-obs bench-history bench-kernels bench-shard
 
-qa: lint lint-deep ruff mypy determinism serve-smoke shard-smoke
+qa: lint lint-deep ruff mypy determinism serve-smoke shard-smoke \
+		history-smoke
 	@echo "qa: all gates passed"
 
 lint:
@@ -64,11 +67,18 @@ serve-smoke:
 shard-smoke:
 	$(RUN) -m repro.qa.shard_check --shards 2
 
+# History-smoke: recording on vs off must be bit-identical, an
+# equal-digest re-run must diff to zero, and a perturbed score bit /
+# inflated wall time / degraded hit rate must each trip the trajectory
+# gates (same check as `repro qa --history`).
+history-smoke:
+	$(RUN) -m repro.qa.history_check
+
 test:
 	$(RUN) -m pytest -x -q
 
 bench: bench-engine bench-subset bench-parallel bench-obs \
-		bench-kernels bench-shard
+		bench-history bench-kernels bench-shard
 	$(RUN) -m pytest benchmarks -q
 
 bench-engine:
@@ -82,6 +92,9 @@ bench-parallel:
 
 bench-obs:
 	$(RUN) -m repro.obs.bench --check
+
+bench-history:
+	$(RUN) -m repro.obs.history_bench --check
 
 bench-kernels:
 	$(RUN) -m repro.stats.kernel_bench --check

@@ -9,8 +9,11 @@
     perspector experiment fig1|fig2|fig3|fig4|fig5|fig6|subset|mux|ablations
     perspector lint [--deep] [--format text|json] [paths ...]
     perspector analyze effects <symbol> [--root DIR]
-    perspector qa [--seed N] [--backend NAME] [--serve]
+    perspector qa [--seed N] [--backend NAME] [--serve] [--history]
     perspector obs summary TRACE [--top N]
+    perspector obs history [--history-dir DIR] [--digest PREFIX]
+    perspector obs diff [RUN-A RUN-B] [--history-dir DIR]
+    perspector obs check [--history-dir DIR] [--max-wall-pct PCT]
     perspector serve [--host H] [--port P] [--workers N ...]
     perspector client score <suite> [--host H] [--port P]
 
@@ -39,6 +42,17 @@ run manifest (``FILE.manifest.json``) on exit. Tracing never changes
 an output bit -- ``repro qa`` checks that. ``repro obs summary FILE``
 renders a JSONL trace as a human report (top spans by self time,
 cache-tier hit rates, pool utilization).
+
+Scoring subcommands also accept ``--history-dir DIR`` /
+``$REPRO_HISTORY``: each run appends a record -- the full scorecard in
+the bit-exact wire encoding, the metrics snapshot, per-span self-time
+totals and the run manifest, keyed by config digest -- to the
+longitudinal history store (:mod:`repro.obs.history`). ``repro obs
+history`` lists the stored trajectories, ``repro obs diff`` diffs two
+runs at the IEEE-754 bit level (drift under an equal digest is a
+determinism regression), and ``repro obs check`` gates a trajectory on
+score drift and perf regressions. Recording never changes an output
+bit either -- ``repro qa --history`` checks that.
 
 ``serve`` runs the scoring daemon (:mod:`repro.service`): one shared
 engine -- persistent pool, kernel cache, disk tier -- kept hot across
@@ -93,6 +107,7 @@ def _config(args, default_preset=ExperimentConfig.full):
         cache_dir=getattr(args, "cache_dir", None),
         backend=getattr(args, "backend", None),
         shards=getattr(args, "shard_hosts", None),
+        history_dir=getattr(args, "history_dir", None),
     )
 
 
@@ -103,20 +118,46 @@ def _cmd_suites(args):
 
 
 def _cmd_score(args):
+    from repro.engine import Engine
+    from repro.obs import publish
+
     config = _config(args)
     matrix = measure_suites([args.suite], config)[args.suite]
-    card = perspector_for(config).score(matrix, focus=args.focus)
+    # The engine is built explicitly (instead of letting the Perspector
+    # facade build a private one) so the run's MetricsRegistry snapshot
+    # is available to the history recorder; the engine is a pure
+    # accelerator, so the scorecard bits are identical either way.
+    with Engine.from_config(config) as engine:
+        card = perspector_for(config, engine=engine).score(
+            matrix, focus=args.focus
+        )
+        publish("scorecard", card)
+        if getattr(args, "history_windows", None):
+            from repro.obs import window_trajectory
+
+            publish("windows", window_trajectory(
+                matrix, seed=config.metric_seed,
+                n_windows=args.history_windows, engine=engine,
+            ))
+        publish("metrics", engine.metrics.snapshot())
     print(card)
     return 0
 
 
 def _cmd_compare(args):
+    from repro.engine import Engine
+    from repro.obs import publish
+
     config = _config(args)
     matrices = measure_suites(args.suites, config)
-    perspector = perspector_for(config)
-    comparison = perspector.compare(
-        *[matrices[s] for s in args.suites], focus=args.focus
-    )
+    with Engine.from_config(config) as engine:
+        perspector = perspector_for(config, engine=engine)
+        comparison = perspector.compare(
+            *[matrices[s] for s in args.suites], focus=args.focus
+        )
+        for card in comparison.scorecards:
+            publish("scorecard", card)
+        publish("metrics", engine.metrics.snapshot())
     print(comparison.table())
     if args.bars:
         for score in ("cluster", "trend", "coverage", "spread"):
@@ -133,6 +174,7 @@ def _cmd_compare(args):
 
 def _cmd_subset(args):
     from repro.engine import Engine, SubsetEvaluator, SubsetSearch
+    from repro.obs import publish
 
     config = _config(args)
     matrix = measure_suites([args.suite], config)[args.suite]
@@ -144,11 +186,15 @@ def _cmd_subset(args):
             matrix, args.size, seed=config.metric_seed,
             evaluator=evaluator,
         ).search(args.search, method=args.method)
+        publish("search_result", result)
+        publish("metrics", engine.metrics.snapshot())
         print(result)
         return 0
     report = LHSSubsetGenerator(
         subset_size=args.size, seed=config.metric_seed
     ).report(matrix, seed=config.metric_seed, engine=engine)
+    publish("subset_report", report)
+    publish("metrics", engine.metrics.snapshot())
     print(report)
     return 0
 
@@ -211,6 +257,17 @@ def _cmd_qa(args):
         if args.backend:
             shard_argv.extend(["--backend", args.backend])
         status = max(status, shard_main(shard_argv))
+    if args.history:
+        # The history determinism variant: recording on vs off must be
+        # bit-identical, an equal-digest re-run must diff to zero, and
+        # a perturbed record / inflated wall time / degraded hit rate
+        # must each be flagged.
+        from repro.qa.history_check import main as history_main
+
+        history_argv = []
+        if args.backend:
+            history_argv = ["--backend", args.backend]
+        status = max(status, history_main(history_argv))
     return status
 
 
@@ -249,6 +306,9 @@ def _cmd_client(args):
             print(json.dumps(client.metrics(), indent=2, sort_keys=True))
         elif args.client_command == "health":
             print(json.dumps(client.health(), indent=2, sort_keys=True))
+        elif args.client_command == "history":
+            print(json.dumps(client.history(), indent=2,
+                             sort_keys=True))
         else:  # shutdown
             client.shutdown()
             print(f"asked {args.host}:{args.port} to shut down",
@@ -315,14 +375,116 @@ def _cmd_experiment(args):
                   if args.name in _QUICK_BY_DEFAULT
                   else ExperimentConfig.full)
         kwargs = {"config": _config(args, default_preset=preset)}
-    print(module.render(module.run(**kwargs)))
+    from repro.obs import publish
+
+    rendered = module.render(module.run(**kwargs))
+    # Experiment drivers return rendered artifacts, not scorecard
+    # objects; the history record keys on the rendered text's digest.
+    publish("rendered", rendered)
+    print(rendered)
     return 0
 
 
 def _cmd_obs(args):
+    if args.obs_command == "summary":
+        return _cmd_obs_summary(args)
+    if args.obs_command == "history":
+        return _cmd_obs_history(args)
+    if args.obs_command == "diff":
+        return _cmd_obs_diff(args)
+    return _cmd_obs_check(args)
+
+
+def _cmd_obs_summary(args):
     from repro.obs import summarize_file
 
-    print(summarize_file(args.trace_path, top=args.top))
+    try:
+        report = summarize_file(args.trace_path, top=args.top)
+    except (OSError, ValueError) as exc:
+        # One pointed line and exit code 2, never a traceback: corrupt
+        # or truncated traces are an expected operational condition.
+        print(f"repro obs summary: {exc}", file=sys.stderr)
+        return 2
+    print(report)
+    return 0
+
+
+def _require_history_dir(args):
+    if not args.history_dir:
+        print("repro obs: no history directory (pass --history-dir or "
+              "set $REPRO_HISTORY)", file=sys.stderr)
+        return None
+    from repro.obs import HistoryStore
+
+    return HistoryStore(args.history_dir)
+
+
+def _cmd_obs_history(args):
+    from repro.obs import render_history
+
+    store = _require_history_dir(args)
+    if store is None:
+        return 2
+    print(render_history(store, digest=args.digest))
+    return 0
+
+
+def _cmd_obs_diff(args):
+    from repro.obs import diff_records, render_diff
+
+    store = _require_history_dir(args)
+    if store is None:
+        return 2
+    if len(args.runs) not in (0, 2):
+        print("repro obs diff: pass exactly two run ids, or none to "
+              "diff the two most recent runs", file=sys.stderr)
+        return 2
+    try:
+        if args.runs:
+            record_a = store.load(args.runs[0])
+            record_b = store.load(args.runs[1])
+        else:
+            run_ids = store.run_ids()
+            if len(run_ids) < 2:
+                print(f"repro obs diff: need at least 2 recorded runs "
+                      f"in {store.root}, found {len(run_ids)}",
+                      file=sys.stderr)
+                return 2
+            record_a = store.load(run_ids[-2])
+            record_b = store.load(run_ids[-1])
+    except (KeyError, OSError, ValueError) as exc:
+        print(f"repro obs diff: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_records(record_a, record_b)
+    print(render_diff(diff))
+    # Drift under an equal config digest is a determinism regression
+    # and fails the command; across different digests it is expected.
+    return 1 if (diff.same_digest and not diff.clean) else 0
+
+
+def _cmd_obs_check(args):
+    from repro.obs import check_store
+
+    store = _require_history_dir(args)
+    if store is None:
+        return 2
+    findings = check_store(
+        store, digest=args.digest,
+        max_wall_pct=(None if args.max_wall_pct < 0
+                      else args.max_wall_pct),
+        max_hit_drop=(None if args.max_hit_drop < 0
+                      else args.max_hit_drop),
+    )
+    trajectories = store.trajectories()
+    if findings:
+        for finding in findings:
+            print(finding)
+        print(f"history check: FAIL ({len(findings)} finding(s) across "
+              f"{len(trajectories)} trajectory(ies))", file=sys.stderr)
+        return 1
+    print(f"history check: ok ({len(store)} run(s), "
+          f"{len(trajectories)} trajectory(ies), no score drift, no "
+          f"perf regressions)")
     return 0
 
 
@@ -387,6 +549,16 @@ def _add_engine_flags(p):
              "$REPRO_SHARDS if set, else no sharding; results are "
              "bit-identical at any shard count)",
     )
+    p.add_argument(
+        "--history-dir", metavar="DIR",
+        default=os.environ.get("REPRO_HISTORY") or None,
+        help="append this run's scorecard (bit-exact wire encoding), "
+             "metrics snapshot, self-time totals and manifest to the "
+             "longitudinal run-history store in DIR, keyed by config "
+             "digest; inspect with 'repro obs history/diff/check' "
+             "(default: $REPRO_HISTORY if set, else no recording; "
+             "outputs are bit-identical either way)",
+    )
 
 
 def build_parser():
@@ -405,6 +577,15 @@ def build_parser():
     p_score.add_argument("suite", choices=available_suites())
     p_score.add_argument("--focus", default="all",
                          choices=["all", "llc", "tlb", "branch", "core"])
+    p_score.add_argument(
+        "--history-windows", type=int, default=0, metavar="N",
+        help="with --history-dir: also record an N-point windowed "
+             "trajectory inside this run -- cumulative prefixes of the "
+             "suite's interval-sampled counter windows scored "
+             "incrementally through the precompute-and-slice evaluator "
+             "(default 0 = off; the printed scorecard is bit-identical "
+             "either way)",
+    )
     _add_engine_flags(p_score)
     _add_trace_flags(p_score)
 
@@ -522,6 +703,14 @@ def build_parser():
              "scorecards (cold, disk-warm, vectorized daemons, "
              "kill-one-shard) bit-for-bit against the serial oracle",
     )
+    p_qa.add_argument(
+        "--history", action="store_true",
+        help="also run the history determinism variant: recording on "
+             "vs off must be bit-identical, an equal-digest re-run "
+             "must diff to zero, and perturbed bits / inflated wall "
+             "time / degraded hit rates must each be flagged by "
+             "'repro obs check'",
+    )
     _add_trace_flags(p_qa)
 
     p_rep = sub.add_parser(
@@ -531,7 +720,7 @@ def build_parser():
     _add_trace_flags(p_rep)
 
     p_obs = sub.add_parser(
-        "obs", help="observability utilities (span traces)"
+        "obs", help="observability utilities (span traces, run history)"
     )
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
     p_sum = obs_sub.add_parser(
@@ -547,6 +736,74 @@ def build_parser():
                        help="how many span names to rank by self time "
                             "(default 15)")
 
+    def _history_store_flags(p):
+        # dest is history_dir, matching the scoring subcommands' flag,
+        # so $REPRO_HISTORY points both the writers and the readers at
+        # the same store.
+        p.add_argument(
+            "--history-dir", metavar="DIR",
+            default=os.environ.get("REPRO_HISTORY") or None,
+            help="run-history store directory (default: $REPRO_HISTORY)",
+        )
+
+    p_hist = obs_sub.add_parser(
+        "history",
+        help="list recorded run trajectories grouped by config digest, "
+             "with per-score sparkline-style drift strips ('*' first "
+             "run, '=' bit-equal to the previous run, '!' drift)",
+    )
+    _history_store_flags(p_hist)
+    p_hist.add_argument(
+        "--digest", metavar="PREFIX", default=None,
+        help="only trajectories whose config digest starts with PREFIX",
+    )
+
+    p_hdiff = obs_sub.add_parser(
+        "diff",
+        help="bit-exact diff of two recorded runs via their IEEE-754 "
+             "hex bit patterns: under an equal config digest any "
+             "changed bit is a determinism regression (exit 1); perf "
+             "metrics (wall time, hit rates) diff as tolerance deltas",
+    )
+    _history_store_flags(p_hdiff)
+    p_hdiff.add_argument(
+        "runs", nargs="*", metavar="RUN",
+        help="two run ids (full, unique prefix, or bare sequence "
+             "number); omit both to diff the two most recent runs",
+    )
+
+    p_hcheck = obs_sub.add_parser(
+        "check",
+        help="scan recorded trajectories and exit nonzero on score "
+             "drift (always fatal under an equal digest) or perf "
+             "regressions beyond the thresholds",
+    )
+    _history_store_flags(p_hcheck)
+    p_hcheck.add_argument(
+        "--digest", metavar="PREFIX", default=None,
+        help="only check trajectories whose config digest starts with "
+             "PREFIX",
+    )
+    from repro.obs.history import (
+        MAX_HIT_RATE_DROP,
+        MAX_WALL_REGRESSION_PCT,
+    )
+
+    p_hcheck.add_argument(
+        "--max-wall-pct", type=float, default=MAX_WALL_REGRESSION_PCT,
+        metavar="PCT",
+        help=f"flag a run slower than the best earlier run of its "
+             f"trajectory by more than PCT percent (default "
+             f"{MAX_WALL_REGRESSION_PCT:g}; negative disables)",
+    )
+    p_hcheck.add_argument(
+        "--max-hit-drop", type=float, default=MAX_HIT_RATE_DROP,
+        metavar="FRAC",
+        help=f"flag a cache hit rate more than FRAC (absolute) below "
+             f"the best earlier rate (default {MAX_HIT_RATE_DROP:g}; "
+             f"negative disables)",
+    )
+
     from repro.service.app import DEFAULT_HOST, DEFAULT_PORT
 
     p_serve = sub.add_parser(
@@ -555,7 +812,7 @@ def build_parser():
              "(persistent pool, kernel cache, disk tier) behind an "
              "HTTP/JSON API (POST /v1/score|compare|subset, "
              "POST /v1/shard/exec for shard-worker duty, "
-             "GET /v1/metrics|health, POST /v1/shutdown)",
+             "GET /v1/metrics|health|history, POST /v1/shutdown)",
     )
     p_serve.add_argument("--host", default=DEFAULT_HOST,
                          help=f"bind address (default {DEFAULT_HOST})")
@@ -609,7 +866,11 @@ def build_parser():
     p_cb.add_argument("--method", default="lhs",
                       choices=["lhs", "random", "swap"])
     _client_parser("metrics", "live engine metrics snapshot (JSON)")
-    _client_parser("health", "daemon liveness + configuration (JSON)")
+    _client_parser("health", "daemon liveness + configuration + uptime "
+                             "and per-endpoint request counts (JSON)")
+    _client_parser("history", "the daemon's recorded-run summaries "
+                              "(JSON; requires the daemon to run with "
+                              "--history-dir)")
     _client_parser("shutdown", "graceful drain-and-stop")
     _add_trace_flags(p_client)
 
@@ -688,6 +949,75 @@ def _run_traced(handler, args, argv):
     return status
 
 
+#: Subcommands whose runs the history store records.
+_HISTORY_COMMANDS = {"score", "compare", "subset", "experiment"}
+
+#: args entries that never change an output bit and therefore stay out
+#: of the history record's config digest: a traced and an untraced run
+#: (or two runs recording into different stores) share one trajectory.
+_NON_CONFIG_ARGS = ("trace", "trace_format", "history_dir")
+
+
+def _run_history(handler, args, argv):
+    """Run one scoring subcommand with history recording (and a span
+    tracer, so the record carries self-time totals); append the record
+    to the ``--history-dir`` store on success. Recording changes no
+    output bit (``repro qa --history`` enforces that); if ``--trace``
+    was also given, the span log and its manifest are written exactly
+    as in :func:`_run_traced`.
+    """
+    import time
+
+    from repro.obs import (
+        HistoryStore,
+        Tracer,
+        build_manifest,
+        build_record,
+        install,
+        install_recorder,
+        manifest_path,
+        uninstall,
+        uninstall_recorder,
+        write_manifest,
+        write_trace,
+    )
+
+    tracer = install(Tracer())
+    recorder = install_recorder()
+    start = time.perf_counter()
+    try:
+        with tracer.span(f"cli.{args.command}"):
+            status = handler(args)
+    finally:
+        uninstall()
+        uninstall_recorder()
+    wall_s = time.perf_counter() - start
+    spans = tracer.spans()
+    config = {k: v for k, v in vars(args).items()
+              if k not in _NON_CONFIG_ARGS}
+    trace = getattr(args, "trace", None)
+    fmt = getattr(args, "trace_format", "jsonl")
+    manifest = build_manifest(
+        command=args.command,
+        argv=list(sys.argv[1:] if argv is None else argv),
+        config=config,
+        trace_file=trace,
+        trace_format=fmt if trace else None,
+    )
+    if trace:
+        count = write_trace(spans, trace, fmt)
+        write_manifest(manifest_path(trace), manifest)
+        print(f"wrote {count} spans to {trace} ({fmt}); manifest at "
+              f"{manifest_path(trace)}", file=sys.stderr)
+    if status == 0:
+        record = build_record(args.command, manifest, recorder,
+                              spans=spans, wall_s=wall_s)
+        path = HistoryStore(args.history_dir).append(record)
+        print(f"recorded run {record['config_digest'][:12]} to {path}",
+              file=sys.stderr)
+    return status
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     handlers = {
@@ -706,6 +1036,9 @@ def main(argv=None):
         "shard": _cmd_shard,
     }
     handler = handlers[args.command]
+    if getattr(args, "history_dir", None) \
+            and args.command in _HISTORY_COMMANDS:
+        return _run_history(handler, args, argv)
     if getattr(args, "trace", None):
         return _run_traced(handler, args, argv)
     return handler(args)

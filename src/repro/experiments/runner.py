@@ -51,12 +51,17 @@ class ExperimentConfig:
     cache_dir: str | None = None
     backend: str | None = None
     shards: str | None = None
+    #: Where to append longitudinal run-history records
+    #: (:mod:`repro.obs.history`); ``None`` disables recording. Like
+    #: the other engine knobs, it never affects an output bit.
+    history_dir: str | None = None
 
     def measurement_key(self):
         """The fields that determine measured traces. Scoring knobs
         (``metric_seed``, ``workers``, ``cache``, ``cache_dir``,
-        ``backend``, ``shards``) are excluded, so re-scoring the same
-        traces under different settings reuses the measurement cache."""
+        ``backend``, ``shards``, ``history_dir``) are excluded, so
+        re-scoring the same traces under different settings reuses the
+        measurement cache."""
         return (self.n_intervals, self.ops_per_interval,
                 self.warmup_intervals, self.warmup_boost, self.seed)
 

@@ -20,9 +20,16 @@
 * :mod:`repro.obs.summary` -- the ``repro obs summary`` report: top
   spans by self time, per-kernel cache-tier hit rates, pool
   utilization.
+* :mod:`repro.obs.history` -- the longitudinal layer (DESIGN.md
+  section 15): an append-only run-history store keyed by config
+  digest, bit-exact run diffing over the wire-format hex bits, and
+  trajectory regression gates (``repro obs history`` / ``diff`` /
+  ``check``).
 
 The hard invariant (enforced by ``repro qa``): tracing on vs off is
-bit-identical in every score output. Spans observe; they never perturb.
+bit-identical in every score output, and so is history recording on
+vs off (``repro qa --history``). Spans and history records observe;
+they never perturb.
 """
 
 from repro.obs.export import (
@@ -31,13 +38,32 @@ from repro.obs.export import (
     FORMATS,
     chrome_events,
     load_spans,
+    load_spans_tolerant,
     write_trace,
+)
+from repro.obs.history import (
+    HistoryRecorder,
+    HistoryStore,
+    RunDiff,
+    TrajectoryFinding,
+    build_record,
+    check_store,
+    check_trajectory,
+    current_recorder,
+    diff_records,
+    install_recorder,
+    publish,
+    render_diff,
+    render_history,
+    uninstall_recorder,
+    window_trajectory,
 )
 from repro.obs.manifest import (
     build_manifest,
     config_digest,
     load_manifest,
     manifest_path,
+    resolved_env,
     write_manifest,
 )
 from repro.obs.metrics import (
@@ -70,26 +96,43 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HistoryRecorder",
+    "HistoryStore",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "RunDiff",
     "ShippedSpans",
     "SpanRecord",
     "Tracer",
+    "TrajectoryFinding",
     "build_manifest",
+    "build_record",
+    "check_store",
+    "check_trajectory",
     "chrome_events",
     "config_digest",
+    "current_recorder",
     "current_tracer",
+    "diff_records",
     "enabled",
     "install",
+    "install_recorder",
     "load_manifest",
     "load_spans",
+    "load_spans_tolerant",
     "manifest_path",
+    "publish",
+    "render_diff",
+    "render_history",
     "render_summary",
+    "resolved_env",
     "span",
     "summarize_file",
     "swap",
     "uninstall",
+    "uninstall_recorder",
     "validate_spans",
+    "window_trajectory",
     "write_manifest",
     "write_trace",
 ]

@@ -111,3 +111,51 @@ def load_spans(path):
                     f"{path}:{lineno}: bad span record: {exc}"
                 ) from exc
     return spans
+
+
+def load_spans_tolerant(path):
+    """Like :func:`load_spans`, but tolerate an unparseable *tail*.
+
+    A trace being appended by an in-flight (or crashed) run legitimately
+    ends in a partial line; summarising such a file should skip the
+    broken tail and say so, not die. Corruption anywhere *before* the
+    tail -- a bad line followed by further good ones -- is still an
+    error, with the same pointed messages as :func:`load_spans` (and a
+    Chrome-format trace is rejected outright: that shape is for the
+    browser).
+
+    Returns ``(spans, skipped_tail)`` where ``skipped_tail`` counts the
+    contiguous bad lines dropped at end-of-file.
+    """
+    parsed = []  # (lineno, SpanRecord | None, error | None)
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                parsed.append((lineno, None,
+                               f"{path}:{lineno}: bad span record: {exc}"))
+                continue
+            if isinstance(record, dict) and "traceEvents" in record:
+                raise ValueError(
+                    f"{path} is a Chrome trace-event file; "
+                    f"'repro obs summary' reads the jsonl format "
+                    f"(--trace-format jsonl)"
+                )
+            try:
+                parsed.append((lineno, SpanRecord.from_dict(record),
+                               None))
+            except (KeyError, TypeError, ValueError) as exc:
+                parsed.append((lineno, None,
+                               f"{path}:{lineno}: bad span record: {exc}"))
+    skipped_tail = 0
+    while parsed and parsed[-1][1] is None:
+        parsed.pop()
+        skipped_tail += 1
+    for _, _, error in parsed:
+        if error is not None:
+            raise ValueError(error)
+    return [span for _, span, _ in parsed], skipped_tail

@@ -1,0 +1,214 @@
+"""Recording-overhead benchmark for the run-history store.
+
+History recording rides on every ``--history-dir`` run, so it carries
+the same cost contract as span tracing (DESIGN.md section 15), guarded
+by the committed ``BENCH_history.json`` baseline: a full score pass
+with a history recorder installed -- publish hooks, wire encoding,
+record build and the append to the on-disk store -- finishes within
+``max_overhead_pct`` (5%) of the same pass without one.
+
+Both legs run **traced**: the recording path always installs a tracer
+(the record carries self-time totals), so an untraced baseline would
+bill tracing's own ~2% to the recorder. Benching traced-vs-
+traced+recorded isolates exactly the cost this gate owns; the tracing
+cost itself is ``python -m repro.obs.bench``'s jurisdiction. Legs run
+interleaved, best-of-``repeats``, kernel cache off, and the recorded
+pass is diffed bit-for-bit against the plain one -- observe, never
+perturb.
+
+The overhead is measured directly, not by differencing the two leg
+totals: recording is a strictly *appended* block (publish hooks are
+O(1) list appends; the wire encoding, record build and store append
+run after the scores exist), so the bench times that block on its own
+and normalizes by the best plain pass. Subtracting two ~0.5 s wall
+times to resolve a ~1 ms cost would drown the signal in scheduler
+noise on a busy host; timing the added block cannot.
+
+::
+
+    python -m repro.obs.history_bench            # run and print
+    python -m repro.obs.history_bench --write    # refresh BENCH_history.json
+    python -m repro.obs.history_bench --check    # exit 1 if over baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+
+from repro.core.perspector import PerspectorConfig
+from repro.engine.bench import build_subject
+from repro.engine.engine import Engine
+from repro.obs import history as obs_history
+from repro.obs import trace as obs_trace
+from repro.obs.manifest import build_manifest
+
+#: The obs bench's subject: one pass around a second, so best-of-N x 2
+#: legs stays quick while dwarfing per-record cost.
+SUBJECT = {"n_workloads": 24, "n_events": 4, "length": 48}
+MAX_OVERHEAD_PCT = 5.0
+DEFAULT_BASELINE = "BENCH_history.json"
+
+
+def _score_pass(recorded, history_dir, seed=0, subject=None):
+    """One traced, cache-off score pass; with ``recorded``, the full
+    history path runs too (recorder, wire encoding, store append).
+    Returns (pass_seconds, recording_seconds, scorecard) --
+    ``recording_seconds`` is the recording block alone (0.0 on the
+    plain leg); ``pass_seconds`` includes it."""
+    matrix = build_subject(seed=seed, **dict(SUBJECT if subject is None
+                                             else subject))
+    engine = Engine(cache=False)
+    tracer = obs_trace.install(obs_trace.Tracer())
+    recording_s = 0.0
+    if recorded:
+        recorder = obs_history.install_recorder()
+    try:
+        start = time.perf_counter()
+        card = engine.score_matrix(matrix, PerspectorConfig(), "all")
+        if recorded:
+            rec_start = time.perf_counter()
+            obs_history.publish("scorecard", card)
+            obs_history.publish("metrics", engine.metrics.snapshot())
+            manifest = build_manifest(
+                command="bench", argv=[],
+                config={"seed": seed, **dict(SUBJECT)},
+            )
+            record = obs_history.build_record(
+                "bench", manifest, recorder, spans=tracer.spans(),
+                wall_s=rec_start - start,
+            )
+            obs_history.HistoryStore(history_dir).append(record)
+            recording_s = time.perf_counter() - rec_start
+        elapsed = time.perf_counter() - start
+    finally:
+        if recorded:
+            obs_history.uninstall_recorder()
+        obs_trace.uninstall()
+        engine.close()
+    return elapsed, recording_s, card
+
+
+def run_bench(seed=0, repeats=5, subject=None):
+    """Run both legs interleaved; return the result record.
+
+    One untimed warmup settles numpy/BLAS state (and, on the first
+    recorded pass below, the one-time costs the steady state never
+    pays again: the lazy wire-protocol import and the memoized
+    ``git describe``). Each leg keeps its best of ``repeats``
+    interleaved runs; the overhead ratio divides the best recording
+    block by the best plain pass.
+    """
+    from repro.qa.determinism import diff_scorecards
+
+    subject = dict(SUBJECT if subject is None else subject)
+    with tempfile.TemporaryDirectory(prefix="repro-histbench-") as tmp:
+        _score_pass(False, tmp, seed=seed, subject=subject)  # warmup
+        plain_s = recorded_s = recording_s = float("inf")
+        plain_card = recorded_card = None
+        for _ in range(repeats):
+            elapsed, _, plain_card = _score_pass(False, tmp, seed=seed,
+                                                 subject=subject)
+            plain_s = min(plain_s, elapsed)
+            elapsed, block_s, recorded_card = _score_pass(
+                True, tmp, seed=seed, subject=subject)
+            recorded_s = min(recorded_s, elapsed)
+            recording_s = min(recording_s, block_s)
+        records = len(obs_history.HistoryStore(tmp))
+
+    overhead_pct = 100.0 * recording_s / plain_s
+    return {
+        "subject": subject,
+        "repeats": repeats,
+        "traced_s": round(plain_s, 4),
+        "recorded_s": round(recorded_s, 4),
+        "recording_s": round(recording_s, 6),
+        "overhead_pct": round(overhead_pct, 2),
+        "records_written": records,
+        "identical": diff_scorecards(plain_card, recorded_card) == [],
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+    }
+
+
+def render(result):
+    subject = result["subject"]
+    return "\n".join([
+        "history-recording overhead bench "
+        f"({subject['n_workloads']} workloads x {subject['n_events']} "
+        f"events, cache off, traced both legs, best of "
+        f"{result['repeats']}):",
+        f"  traced only:       {result['traced_s']:.3f} s",
+        f"  traced + recorded: {result['recorded_s']:.3f} s "
+        f"({result['records_written']} records written)",
+        f"  recording block:   {1e3 * result['recording_s']:.2f} ms "
+        f"-> {result['overhead_pct']:+.2f}% of the traced pass "
+        f"(baseline allows <= {result['max_overhead_pct']:.0f}%)",
+        f"  recorded scorecard bit-identical to plain: "
+        f"{result['identical']}",
+    ])
+
+
+def check(result, baseline):
+    """Gate failures of ``result`` against a baseline record."""
+    max_overhead = float(baseline.get("max_overhead_pct",
+                                      MAX_OVERHEAD_PCT))
+    failures = []
+    if not result["identical"]:
+        failures.append("recorded scorecard is not bit-identical to "
+                        "the unrecorded pass")
+    if result["overhead_pct"] > max_overhead:
+        failures.append(
+            f"recording overhead {result['overhead_pct']:+.1f}% "
+            f"exceeds the {max_overhead:.0f}% baseline"
+        )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.history_bench",
+        description="Time a history-recorded score pass against a "
+                    "plain traced one.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--json", metavar="PATH",
+                        default=DEFAULT_BASELINE,
+                        help="baseline file for --write/--check")
+    parser.add_argument("--write", action="store_true",
+                        help="write the result as the new baseline")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless overhead is within the "
+                             "baseline bound and outputs bit-identical")
+    args = parser.parse_args(argv)
+
+    result = run_bench(seed=args.seed, repeats=args.repeats)
+    print(render(result))
+
+    if args.write:
+        with open(args.json, "w") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.json}")
+    if args.check:
+        try:
+            with open(args.json) as f:
+                baseline = json.load(f)
+        except FileNotFoundError:
+            baseline = {}
+        failures = check(result, baseline)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAIL: {failure}")
+            return 1
+        print("check passed: recording within "
+              f"{baseline.get('max_overhead_pct', MAX_OVERHEAD_PCT):.0f}"
+              "% and bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,23 +32,66 @@ def manifest_path(trace_path):
     return f"{os.fspath(trace_path)}.manifest.json"
 
 
+#: Environment variables that change how a run executes; resolved into
+#: every manifest so history records capture the execution environment,
+#: not just the config mapping.
+ENV_VARS = ("REPRO_BACKEND", "REPRO_SHARDS", "REPRO_CACHE_DIR",
+            "REPRO_TRACE", "REPRO_HISTORY")
+
+
+def _canonical(value):
+    """Fold one config value into the JSON grammar, recursively:
+    mappings sort by stringified key, sequences keep order, scalars
+    pass through, and anything else goes through ``repr``. Nested
+    mappings therefore digest identically regardless of insertion
+    order -- the same guarantee the top level always had."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _canonical(value[k])
+                for k in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return repr(value)
+
+
 def config_digest(config):
     """Stable SHA-256 digest of a configuration mapping: canonical JSON
-    (sorted keys, no whitespace variance), values outside the JSON
-    grammar folded through ``repr``. Two runs with equal digests ran
-    the same configuration."""
-    clean = {
-        str(k): (v if isinstance(v, (bool, int, float, str))
-                 or v is None else repr(v))
-        for k, v in dict(config).items()
-    }
+    (sorted keys at every nesting level, no whitespace variance),
+    values outside the JSON grammar folded through :func:`_canonical`.
+    Two runs with equal digests ran the same configuration."""
+    clean = {str(k): _canonical(v) for k, v in dict(config).items()}
     canonical = json.dumps(clean, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def resolved_env():
+    """``{name: value-or-None}`` for every :data:`ENV_VARS` entry, as
+    resolved in this process."""
+    return {name: os.environ.get(name) for name in ENV_VARS}
+
+
+_GIT_DESCRIBE_CACHE = {}
+
+
 def git_describe(cwd=None):
     """``git describe --always --dirty`` of the working tree, or None
-    when git (or the repository) is unavailable."""
+    when git (or the repository) is unavailable.
+
+    Memoized per (process, cwd): manifests are built per run, and a
+    daemon recording history builds one per served request -- a
+    subprocess spawn each would dwarf the recording cost the
+    ``bench-history`` gate bounds. The tree state a process started
+    from is the honest provenance for everything it computes anyway.
+    """
+    if cwd in _GIT_DESCRIBE_CACHE:
+        return _GIT_DESCRIBE_CACHE[cwd]
+    described = _git_describe_uncached(cwd)
+    _GIT_DESCRIBE_CACHE[cwd] = described
+    return described
+
+
+def _git_describe_uncached(cwd):
     try:
         out = subprocess.run(
             ["git", "describe", "--always", "--dirty"],
@@ -99,6 +142,7 @@ def build_manifest(command, argv, config, trace_file=None,
         "argv": list(argv),
         "config": config,
         "config_digest": config_digest(config),
+        "env": resolved_env(),
         "trace_file": (None if trace_file is None
                        else os.path.basename(os.fspath(trace_file))),
         "trace_format": trace_format,

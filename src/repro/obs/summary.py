@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.obs.export import load_spans
+from repro.obs.export import load_spans, load_spans_tolerant
 
 
 def _fmt_ms(ns):
@@ -210,5 +210,16 @@ def render_summary(spans, top=15):
 
 
 def summarize_file(path, top=15):
-    """Load a JSONL trace and render its summary."""
-    return render_summary(load_spans(path), top=top)
+    """Load a JSONL trace and render its summary.
+
+    Uses the tolerant loader: an in-flight run's partial tail line is
+    skipped and noted under the report instead of killing the summary
+    (mid-file corruption still raises ``ValueError``, as does a
+    Chrome-format trace).
+    """
+    spans, skipped_tail = load_spans_tolerant(path)
+    report = render_summary(spans, top=top)
+    if skipped_tail:
+        report += (f"\n\nnote: skipped {skipped_tail} partial line(s) at "
+                   f"end of trace (run still in flight?)")
+    return report

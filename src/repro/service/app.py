@@ -27,7 +27,14 @@ vectorized`` enforces that over real HTTP).
     shared engine (cache tiers, shm transport, pool lifecycle, service
     request counters) -- ``repro obs`` as a service surface.
 ``GET /v1/health``
-    Liveness + engine configuration.
+    Liveness + engine configuration + daemon uptime and per-endpoint
+    request counts (a stable identity line for history sampling of a
+    live daemon).
+``GET /v1/history``
+    The daemon's longitudinal run history (:mod:`repro.obs.history`):
+    when the service config carries ``history_dir``, every served
+    score/compare/subset run is recorded into the same append-only
+    store the CLI writes, and this endpoint lists the stored runs.
 ``POST /v1/shutdown``
     Graceful stop: the listener closes, in-flight requests drain, the
     engine's ``close()`` path tears down pool and shm segments.
@@ -119,6 +126,8 @@ class ScoringService:
     """
 
     def __init__(self, config, host=DEFAULT_HOST, port=DEFAULT_PORT):
+        import time
+
         from repro.engine import Engine
 
         self.config = config
@@ -130,6 +139,19 @@ class ScoringService:
         self._requests = self.metrics.counter("service_requests")
         self._errors = self.metrics.counter("service_errors")
         self._inflight = self.metrics.gauge("service_inflight")
+        # Uptime bookkeeping for /v1/health; monotonic for the elapsed
+        # measure, wall clock for the identity line. Not a span: the
+        # daemon's lifetime is not a unit of scored work.
+        self._started_monotonic = time.monotonic()  # qa-ignore[obs-discipline]
+        self._started_unix = time.time()  # qa-ignore[obs-discipline]
+        self._endpoint_requests = {}
+        history_dir = getattr(config, "history_dir", None)
+        if history_dir:
+            from repro.obs.history import HistoryStore
+
+            self._history = HistoryStore(history_dir)
+        else:
+            self._history = None
         # All kernel work funnels through this one thread: concurrent
         # sessions share the engine without interleaving its reductions.
         self._scoring = ThreadPoolExecutor(
@@ -252,6 +274,9 @@ class ScoringService:
                 f"unknown path {request.path!r}")
         for method, path, fn in table:
             if path == request.path and method == request.method:
+                key = f"{method} {path}"
+                self._endpoint_requests[key] = \
+                    self._endpoint_requests.get(key, 0) + 1
                 return await fn(request)
         return 405, protocol.error_envelope(
             f"{request.method} not allowed on {request.path}")
@@ -264,6 +289,7 @@ class ScoringService:
             ("POST", "/v1/shard/exec", self._handle_shard_exec),
             ("GET", "/v1/metrics", self._handle_metrics),
             ("GET", "/v1/health", self._handle_health),
+            ("GET", "/v1/history", self._handle_history),
             ("POST", "/v1/shutdown", self._handle_shutdown),
         )
 
@@ -355,8 +381,11 @@ class ScoringService:
         })
 
     async def _handle_health(self, request):
+        import time
+
         from repro.engine.shard import OPS
 
+        uptime = time.monotonic() - self._started_monotonic  # qa-ignore[obs-discipline]
         return 200, protocol.ok_envelope({
             "status": "ok",
             "suites": list(available_suites()),
@@ -367,7 +396,38 @@ class ScoringService:
             "backend": self.engine.backend.name,
             "requests": self._requests.value,
             "inflight": self._active,
+            "uptime_s": uptime,
+            "started_unix": self._started_unix,
+            "endpoint_requests": dict(sorted(
+                self._endpoint_requests.items())),
+            "history_dir": (None if self._history is None
+                            else self._history.root),
         })
+
+    async def _handle_history(self, request):
+        """Summaries of the daemon's recorded runs, oldest first (the
+        full records stay on disk; each summary carries the identity
+        fields plus the first scorecard's plain scores)."""
+        if self._history is None:
+            return 200, protocol.ok_envelope(
+                {"enabled": False, "runs": []})
+        runs = []
+        for record in self._history.runs():
+            cards = record.get("scorecards") or ()
+            runs.append({
+                "run_id": record.get("run_id"),
+                "command": record.get("command"),
+                "config_digest": record.get("config_digest"),
+                "wall_time_s": record.get("wall_time_s"),
+                "created_unix": record.get("created_unix"),
+                "scores": (dict(cards[0].get("scores", {}))
+                           if cards else {}),
+                "score_bits": (dict(cards[0].get("score_bits", {}))
+                               if cards else {}),
+            })
+        return 200, protocol.ok_envelope(
+            {"enabled": True, "history_dir": self._history.root,
+             "runs": runs})
 
     async def _handle_shutdown(self, request):
         # The response is written by the connection handler *after*
@@ -400,26 +460,96 @@ class ScoringService:
         finally:
             self.engine.backend = saved
 
+    @contextmanager
+    def _served_run(self, command, params, backend):
+        """Record one served scoring job into the history store.
+
+        Runs entirely on the single scoring thread, *after* the
+        response object exists -- recording reads results, it never
+        feeds anything back, so a served scorecard's bits cannot depend
+        on whether a history store is configured (``repro qa
+        --history`` checks the same property for the CLI path). A
+        store failure is reported and swallowed: history is telemetry,
+        the request already succeeded.
+
+        Usage: ``with self._served_run(...) as publish: ...;
+        publish("scorecard", card)``. Without a configured store the
+        publish callable is a no-op and nothing is timed.
+        """
+        if self._history is None:
+            yield lambda kind, obj: None
+            return
+        import time
+
+        from dataclasses import asdict
+
+        from repro.obs.history import HistoryRecorder, build_record
+        from repro.obs.manifest import build_manifest
+
+        recorder = HistoryRecorder()
+        start = time.perf_counter()  # qa-ignore[obs-discipline]
+        yield recorder.publish
+        wall_s = time.perf_counter() - start  # qa-ignore[obs-discipline]
+        recorder.publish("metrics", self.metrics.snapshot())
+        # The digest config mirrors the CLI convention: the resolved
+        # run knobs plus the request parameters, minus the keys that
+        # cannot change an output bit (the store location itself).
+        config = dict(asdict(self.config), **params)
+        config.pop("history_dir", None)
+        if backend:
+            config["backend"] = backend
+        manifest = build_manifest(
+            command=f"serve:{command}", argv=[], config=config,
+        )
+        try:
+            self._history.append(build_record(
+                f"serve:{command}", manifest, recorder, spans=(),
+                wall_s=wall_s,
+            ))
+        except OSError as exc:
+            print(f"repro serve: history append failed: {exc}",
+                  file=sys.stderr)
+
     def _score_sync(self, suite, focus, backend=None):
         from repro.experiments.runner import measure_suites, perspector_for
 
-        with self._backend_override(backend):
-            matrix = measure_suites([suite], self.config)[suite]
-            perspector = perspector_for(self.config, engine=self.engine)
-            return perspector.score(matrix, focus=focus)
+        with self._served_run("score", {"suite": suite, "focus": focus},
+                              backend) as publish:
+            with self._backend_override(backend):
+                matrix = measure_suites([suite], self.config)[suite]
+                perspector = perspector_for(self.config,
+                                            engine=self.engine)
+                card = perspector.score(matrix, focus=focus)
+            publish("scorecard", card)
+        return card
 
     def _compare_sync(self, suites, focus, backend=None):
         from repro.experiments.runner import measure_suites, perspector_for
 
-        with self._backend_override(backend):
-            matrices = measure_suites(suites, self.config)
-            perspector = perspector_for(self.config, engine=self.engine)
-            return perspector.compare(*[matrices[s] for s in suites],
-                                      focus=focus)
+        with self._served_run("compare", {"suites": list(suites),
+                                          "focus": focus},
+                              backend) as publish:
+            with self._backend_override(backend):
+                matrices = measure_suites(suites, self.config)
+                perspector = perspector_for(self.config,
+                                            engine=self.engine)
+                comparison = perspector.compare(
+                    *[matrices[s] for s in suites], focus=focus)
+            for card in comparison.scorecards:
+                publish("scorecard", card)
+        return comparison
 
     def _subset_sync(self, suite, size, search, method, backend=None):
-        with self._backend_override(backend):
-            return self._subset_job(suite, size, search, method)
+        with self._served_run("subset", {"suite": suite, "size": size,
+                                         "search": search,
+                                         "method": method},
+                              backend) as publish:
+            with self._backend_override(backend):
+                kind, result = self._subset_job(suite, size, search,
+                                                method)
+            publish("search_result" if kind == "search"
+                    else "subset_report", result)
+        return kind, result
 
     def _shard_exec_sync(self, execute_block, block):
         return execute_block(self.engine, block)

@@ -138,6 +138,11 @@ class ServiceClient:
     def metrics(self):
         return self._request("GET", "/v1/metrics")
 
+    def history(self):
+        """The daemon's recorded-run summaries (``GET /v1/history``):
+        ``{"enabled": bool, "runs": [...]}``, oldest run first."""
+        return self._request("GET", "/v1/history")
+
     def score(self, suite, focus="all", backend=None):
         """The raw ``/v1/score`` result payload. ``backend`` selects
         the compute backend for this one request (bit-identical across

@@ -96,14 +96,51 @@ class TestObsSummary:
         main(["--quick", "score", "nbench", "--trace", str(trace),
               "--trace-format", "chrome"])
         capsys.readouterr()
-        with pytest.raises(ValueError, match="Chrome trace-event"):
-            main(["obs", "summary", str(trace)])
+        # One pointed line on stderr and exit code 2 -- never a
+        # traceback.
+        assert main(["obs", "summary", str(trace)]) == 2
+        captured = capsys.readouterr()
+        assert "Chrome trace-event" in captured.err
+        assert captured.err.count("\n") == 1
+        assert captured.out == ""
 
     def test_summary_top_flag(self):
         args = build_parser().parse_args(
             ["obs", "summary", "t.jsonl", "--top", "3"])
         assert args.trace_path == "t.jsonl"
         assert args.top == 3
+
+    def test_summary_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["obs", "summary",
+                     str(tmp_path / "nope.jsonl")]) == 2
+        captured = capsys.readouterr()
+        assert "repro obs summary:" in captured.err
+        assert captured.out == ""
+
+    def test_summary_skips_partial_tail_line(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        main(["--quick", "score", "nbench", "--trace", str(trace)])
+        capsys.readouterr()
+        # Simulate an in-flight run: the last line is half-written.
+        with open(trace, "a", encoding="utf-8") as f:
+            f.write('{"sid": 99, "name": "tru')
+        assert main(["obs", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary:" in out
+        assert "skipped 1 partial line(s)" in out
+
+    def test_summary_mid_file_corruption_exits_2(self, capsys,
+                                                 tmp_path):
+        trace = tmp_path / "t.jsonl"
+        main(["--quick", "score", "nbench", "--trace", str(trace)])
+        capsys.readouterr()
+        lines = trace.read_text().splitlines()
+        lines[0] = '{"not json'
+        trace.write_text("\n".join(lines) + "\n")
+        assert main(["obs", "summary", str(trace)]) == 2
+        captured = capsys.readouterr()
+        assert "bad span record" in captured.err
+        assert captured.out == ""
 
 
 class TestCompareRouting:

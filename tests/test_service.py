@@ -136,6 +136,25 @@ class TestEndpoints:
         assert after["cache_hits"] > before["cache_hits"]
         assert after["service_requests"] > before["service_requests"]
 
+    def test_health_reports_uptime_and_endpoint_counts(self, service):
+        _config, client = service
+        first = client.health()
+        assert first["uptime_s"] >= 0.0
+        assert first["started_unix"] > 0
+        second = client.health()
+        assert second["uptime_s"] >= first["uptime_s"]
+        assert second["started_unix"] == first["started_unix"]
+        counts = second["endpoint_requests"]
+        # Both health probes counted under their route; the fixture's
+        # daemon runs without a history store.
+        assert counts["GET /v1/health"] >= 2
+        assert second["history_dir"] is None
+
+    def test_history_endpoint_disabled_without_store(self, service):
+        _config, client = service
+        listing = client.history()
+        assert listing == {"enabled": False, "runs": []}
+
     def test_compare_round_trip(self, service):
         config, client = service
         result = client.compare(["nbench", "lmbench"])
@@ -269,6 +288,46 @@ class TestErrors:
             client.score("nbench", backend="gpu")
         assert excinfo.value.status == 400
         assert "unknown backend" in excinfo.value.message
+
+
+class TestServiceHistory:
+    def test_daemon_records_served_runs(self, tmp_path):
+        """A daemon configured with ``history_dir`` records every
+        served scoring run -- equal digests for equal requests, served
+        bits persisted verbatim -- and lists them at /v1/history."""
+        from repro.obs.history import HistoryStore, diff_records
+
+        config = replace(
+            ExperimentConfig.quick(),
+            cache_dir=str(tmp_path / "cache"),
+            history_dir=str(tmp_path / "hist"),
+        )
+        thread = ServiceThread(config).start()
+        client = ServiceClient(host=thread.host, port=thread.port)
+        try:
+            served = client.score_card("nbench")
+            client.score("nbench")
+            listing = client.history()
+            assert listing["enabled"] is True
+            assert listing["history_dir"] == config.history_dir
+            runs = listing["runs"]
+            assert len(runs) == 2
+            assert all(r["command"] == "serve:score" for r in runs)
+            digests = {r["config_digest"] for r in runs}
+            assert len(digests) == 1
+            # The listed bits are the served card's exact bits.
+            assert runs[0]["score_bits"] == \
+                encode_scorecard(served)["score_bits"]
+            # And the on-disk records diff to zero under that digest.
+            store = HistoryStore(config.history_dir)
+            record_a, record_b = store.runs()
+            diff = diff_records(record_a, record_b)
+            assert diff.same_digest and diff.clean
+            assert client.health()["history_dir"] == config.history_dir
+        finally:
+            client.shutdown()
+            thread.join()
+        assert leaked_segments() == []
 
 
 class TestShutdown:
